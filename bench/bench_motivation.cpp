@@ -1,0 +1,42 @@
+// Section III (Motivation): core utilization under the exclusive
+// allocation policy.
+//
+// Paper: "average core utilization was measured to be only around 50%"
+// for 1000 Table I instances on an 8-node cluster, and "low core
+// utilizations ranging from 38% to 63%" across synthetic job sets with
+// different resource distributions.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace phisched;
+  using namespace phisched::bench;
+
+  print_header("Motivation: Xeon Phi core utilization, exclusive policy",
+               "Section III (~50% real set; 38%-63% synthetic sets)");
+
+  AsciiTable table({"Job set", "Jobs", "Avg core utilization", "Makespan (s)"});
+
+  {
+    const auto jobs = workload::make_real_jobset(1000, Rng(42).child("jobs"));
+    const auto r = cluster::run_experiment(
+        paper_cluster(cluster::StackConfig::kMC), jobs);
+    table.add_row({"Table I (real workloads)", "1000",
+                   pct(r.avg_core_utilization), AsciiTable::cell(r.makespan, 0)});
+  }
+  for (const auto dist : workload::all_distributions()) {
+    const auto jobs =
+        workload::make_synthetic_jobset(dist, 400, Rng(7).child("syn"));
+    const auto r = cluster::run_experiment(
+        paper_cluster(cluster::StackConfig::kMC), jobs);
+    table.add_row({std::string("Synthetic: ") + workload::distribution_name(dist),
+                   "400", pct(r.avg_core_utilization),
+                   AsciiTable::cell(r.makespan, 0)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Exclusive allocation leaves coprocessor cores idle because offload\n"
+      "jobs use the device only intermittently and not always at full\n"
+      "width — the sharing opportunity the scheduler exploits.\n");
+  return 0;
+}

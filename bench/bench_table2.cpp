@@ -1,0 +1,56 @@
+// Table II: makespan and footprint reduction on 1000 real-workload jobs,
+// 8-node cluster.
+//
+// Paper numbers: makespan 3568 (MC), 2611 (MCC, -27%), 2183 (MCCK, -39%);
+// footprint 8 -> 6 (MCC, -25%) -> 5 (MCCK, -37.5%). Absolute seconds are
+// testbed-specific; the reproduction targets the ordering and reduction
+// factors.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace phisched;
+  using namespace phisched::bench;
+
+  print_header("Table II: makespan and footprint reduction",
+               "MC 3568 / MCC 2611 (-27%) / MCCK 2183 (-39%); "
+               "footprint 8/6/5");
+
+  const auto jobs = workload::make_real_jobset(1000, Rng(42).child("jobs"));
+
+  struct Row {
+    cluster::StackConfig stack;
+    cluster::ExperimentResult result;
+    std::size_t footprint = 0;
+  };
+  std::vector<Row> rows;
+  for (const auto stack : {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
+                           cluster::StackConfig::kMCCK}) {
+    Row row{stack, cluster::run_experiment(paper_cluster(stack), jobs), 0};
+    rows.push_back(std::move(row));
+  }
+
+  const SimTime baseline = rows[0].result.makespan;
+  rows[0].footprint = 8;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto f = cluster::find_footprint(paper_cluster(rows[i].stack), jobs,
+                                           baseline, 8);
+    rows[i].footprint = f.achieved() ? f.nodes : 0;
+  }
+
+  AsciiTable table({"Configuration", "Makespan on 8-node cluster",
+                    "Reduction vs MC", "Cluster size for MC makespan",
+                    "Footprint reduction"});
+  for (const auto& row : rows) {
+    const bool is_baseline = row.stack == cluster::StackConfig::kMC;
+    table.add_row(
+        {cluster::stack_config_name(row.stack),
+         AsciiTable::cell(row.result.makespan, 0),
+         is_baseline ? "-" : pct(1.0 - row.result.makespan / baseline),
+         is_baseline ? "-" : std::to_string(row.footprint),
+         is_baseline
+             ? "-"
+             : pct(1.0 - static_cast<double>(row.footprint) / 8.0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

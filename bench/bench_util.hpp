@@ -1,0 +1,37 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "cluster/footprint.hpp"
+#include "common/table.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::bench {
+
+/// The paper's testbed: 8 nodes, 1 Xeon Phi (60 cores / 240 threads /
+/// 8 GiB) per node.
+inline cluster::ExperimentConfig paper_cluster(
+    cluster::StackConfig stack, std::size_t nodes = 8,
+    std::uint64_t seed = 42) {
+  cluster::ExperimentConfig config;
+  config.node_count = nodes;
+  config.stack = stack;
+  config.seed = seed;
+  return config;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("============================================================\n");
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return AsciiTable::percent(fraction, precision);
+}
+
+}  // namespace phisched::bench

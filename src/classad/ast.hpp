@@ -1,0 +1,69 @@
+// Abstract syntax tree for ClassAd expressions.
+//
+// Nodes are immutable after construction and shared between ClassAd copies
+// via shared_ptr<const Expr>, so copying an ad (as condor_qedit does) is
+// cheap and safe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classad/value.hpp"
+
+namespace phisched::classad {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class AttrScope { kNone, kMy, kTarget };
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kIs, kIsnt,
+  kAnd, kOr,
+};
+
+struct Expr {
+  enum class Kind { kLiteral, kAttrRef, kUnary, kBinary, kTernary, kCall };
+
+  explicit Expr(Kind k) : kind(k) {}
+
+  Kind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kAttrRef
+  AttrScope scope = AttrScope::kNone;
+  std::string attr;
+
+  // kUnary
+  UnaryOp unary_op = UnaryOp::kNeg;
+
+  // kBinary
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // kCall
+  std::string function;
+
+  // Children: unary → [operand]; binary → [lhs, rhs];
+  // ternary → [cond, then, else]; call → arguments.
+  std::vector<ExprPtr> children;
+};
+
+[[nodiscard]] ExprPtr make_literal(Value v);
+[[nodiscard]] ExprPtr make_attr(AttrScope scope, std::string name);
+[[nodiscard]] ExprPtr make_unary(UnaryOp op, ExprPtr operand);
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr make_ternary(ExprPtr cond, ExprPtr t, ExprPtr f);
+[[nodiscard]] ExprPtr make_call(std::string function, std::vector<ExprPtr> args);
+
+/// Unparses an expression to canonical ClassAd syntax.
+[[nodiscard]] std::string to_string(const Expr& expr);
+[[nodiscard]] inline std::string to_string(const ExprPtr& e) { return to_string(*e); }
+
+}  // namespace phisched::classad

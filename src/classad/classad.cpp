@@ -1,0 +1,180 @@
+#include "classad/classad.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "classad/eval.hpp"
+#include "classad/parser.hpp"
+#include "common/error.hpp"
+
+namespace phisched::classad {
+
+void ClassAd::insert(std::string name, ExprPtr expr) {
+  PHISCHED_REQUIRE(!name.empty(), "ClassAd: empty attribute name");
+  PHISCHED_REQUIRE(expr != nullptr, "ClassAd: null expression");
+  attrs_[std::move(name)] = std::move(expr);
+}
+
+void ClassAd::insert_integer(std::string name, std::int64_t v) {
+  insert(std::move(name), make_literal(Value::integer(v)));
+}
+
+void ClassAd::insert_real(std::string name, double v) {
+  insert(std::move(name), make_literal(Value::real(v)));
+}
+
+void ClassAd::insert_boolean(std::string name, bool v) {
+  insert(std::move(name), make_literal(Value::boolean(v)));
+}
+
+void ClassAd::insert_string(std::string name, std::string v) {
+  insert(std::move(name), make_literal(Value::string(std::move(v))));
+}
+
+void ClassAd::insert_expr(std::string name, std::string_view expr_source) {
+  insert(std::move(name), parse(expr_source));
+}
+
+bool ClassAd::erase(const std::string& name) { return attrs_.erase(name) > 0; }
+
+bool ClassAd::has(const std::string& name) const {
+  return attrs_.find(name) != attrs_.end();
+}
+
+ExprPtr ClassAd::lookup(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : it->second;
+}
+
+Value ClassAd::eval(const std::string& name, const ClassAd* target) const {
+  ExprPtr e = lookup(name);
+  if (e == nullptr) return Value::undefined();
+  return evaluate(*e, EvalContext{this, target});
+}
+
+std::optional<std::int64_t> ClassAd::eval_integer(const std::string& name,
+                                                  const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_integer()) return v.as_integer();
+  if (v.is_real()) return static_cast<std::int64_t>(v.as_real());
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::eval_real(const std::string& name,
+                                         const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_number()) return v.number();
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::eval_boolean(const std::string& name,
+                                          const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_boolean()) return v.as_boolean();
+  if (v.is_number()) return v.number() != 0.0;
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::eval_string(const std::string& name,
+                                                const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_string()) return v.as_string();
+  return std::nullopt;
+}
+
+std::vector<std::string> ClassAd::attribute_names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& [name, _] : attrs_) out.push_back(name);
+  return out;
+}
+
+std::string ClassAd::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, expr] : attrs_) {
+    os << name << " = " << classad::to_string(*expr) << "\n";
+  }
+  return os.str();
+}
+
+bool requirements_met(const ClassAd& ad, const ClassAd& target) {
+  ExprPtr req = ad.lookup("Requirements");
+  if (req == nullptr) return true;
+  const Value v = evaluate(*req, EvalContext{&ad, &target});
+  return v.is_boolean() && v.as_boolean();
+}
+
+bool symmetric_match(const ClassAd& a, const ClassAd& b) {
+  return requirements_met(a, b) && requirements_met(b, a);
+}
+
+double eval_rank(const ClassAd& ad, const ClassAd& target) {
+  ExprPtr rank = ad.lookup("Rank");
+  if (rank == nullptr) return 0.0;
+  const Value v = evaluate(*rank, EvalContext{&ad, &target});
+  return v.is_number() ? v.number() : 0.0;
+}
+
+ClassAd parse_classad(std::string_view text) {
+  ClassAd ad;
+  std::size_t line_start = 0;
+  std::size_t line_no = 0;
+  while (line_start <= text.size()) {
+    const std::size_t nl = text.find('\n', line_start);
+    std::string_view line = text.substr(
+        line_start, nl == std::string_view::npos ? text.size() - line_start
+                                                 : nl - line_start);
+    ++line_no;
+    line_start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    // Strip comments (a '#' outside of string literals) and whitespace.
+    bool in_string = false;
+    std::size_t comment = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) {
+        in_string = !in_string;
+      } else if (line[i] == '#' && !in_string) {
+        comment = i;
+        break;
+      }
+    }
+    line = line.substr(0, comment);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front()))) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+
+    // Split on the first '=' that is not part of ==, =?=, =!=, <=, >=, !=.
+    std::size_t eq = std::string_view::npos;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '=') continue;
+      const char prev = i > 0 ? line[i - 1] : '\0';
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if (prev == '<' || prev == '>' || prev == '!' || prev == '=') continue;
+      if (next == '=' || next == '?' || next == '!') continue;
+      eq = i;
+      break;
+    }
+    if (eq == std::string_view::npos) {
+      throw ParseError("expected 'Name = expression' on line " +
+                           std::to_string(line_no),
+                       0);
+    }
+    std::string name(line.substr(0, eq));
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back()))) {
+      name.pop_back();
+    }
+    if (name.empty()) {
+      throw ParseError("missing attribute name on line " +
+                           std::to_string(line_no),
+                       0);
+    }
+    ad.insert(std::move(name), parse(line.substr(eq + 1)));
+  }
+  return ad;
+}
+
+}  // namespace phisched::classad

@@ -1,0 +1,29 @@
+// ClassAd expression evaluator.
+#pragma once
+
+#include "classad/ast.hpp"
+
+namespace phisched::classad {
+
+class ClassAd;
+
+/// Evaluation context: the ad the expression belongs to (MY) and the
+/// candidate ad on the other side of the match (TARGET, may be null).
+struct EvalContext {
+  const ClassAd* my = nullptr;
+  const ClassAd* target = nullptr;
+};
+
+/// Evaluates `expr` in `ctx`.
+///
+/// Attribute resolution: `MY.x` looks only in ctx.my, `TARGET.x` only in
+/// ctx.target, and a bare `x` first in ctx.my then ctx.target. Unresolved
+/// references and reference cycles evaluate to undefined / error
+/// respectively (a recursion-depth limit guards against cycles).
+[[nodiscard]] Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+[[nodiscard]] inline Value evaluate(const ExprPtr& expr, const EvalContext& ctx) {
+  return evaluate(*expr, ctx);
+}
+
+}  // namespace phisched::classad

@@ -1,0 +1,26 @@
+// Lexer for the ClassAd expression language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classad/token.hpp"
+
+namespace phisched::classad {
+
+/// Raised on malformed expressions (lexing or parsing).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset);
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Tokenizes `source`; the result always ends with a kEnd token.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace phisched::classad

@@ -1,0 +1,286 @@
+#include "classad/parser.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace phisched::classad {
+
+ExprPtr make_literal(Value v) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr make_attr(AttrScope scope, std::string name) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kAttrRef);
+  e->scope = scope;
+  e->attr = std::move(name);
+  return e;
+}
+
+ExprPtr make_unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kUnary);
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kBinary);
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_ternary(ExprPtr cond, ExprPtr t, ExprPtr f) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kTernary);
+  e->children.push_back(std::move(cond));
+  e->children.push_back(std::move(t));
+  e->children.push_back(std::move(f));
+  return e;
+}
+
+ExprPtr make_call(std::string function, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>(Expr::Kind::kCall);
+  e->function = std::move(function);
+  e->children = std::move(args);
+  return e;
+}
+
+namespace {
+
+const char* binary_op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kIs: return "=?=";
+    case BinaryOp::kIsnt: return "=!=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr run() {
+    ExprPtr e = ternary();
+    expect(TokenKind::kEnd, "trailing input after expression");
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+  bool accept(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(TokenKind kind, const char* what) {
+    if (!accept(kind)) {
+      throw ParseError(std::string(what) + ", got '" +
+                           token_kind_name(peek().kind) + "'",
+                       peek().offset);
+    }
+  }
+
+  ExprPtr ternary() {
+    ExprPtr cond = logical_or();
+    if (!accept(TokenKind::kQuestion)) return cond;
+    ExprPtr t = ternary();
+    expect(TokenKind::kColon, "expected ':' in conditional");
+    ExprPtr f = ternary();
+    return make_ternary(std::move(cond), std::move(t), std::move(f));
+  }
+
+  ExprPtr logical_or() {
+    ExprPtr lhs = logical_and();
+    while (accept(TokenKind::kOr)) {
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), logical_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr logical_and() {
+    ExprPtr lhs = equality();
+    while (accept(TokenKind::kAnd)) {
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), equality());
+    }
+    return lhs;
+  }
+
+  ExprPtr equality() {
+    ExprPtr lhs = relational();
+    for (;;) {
+      BinaryOp op;
+      if (accept(TokenKind::kEq)) op = BinaryOp::kEq;
+      else if (accept(TokenKind::kNe)) op = BinaryOp::kNe;
+      else if (accept(TokenKind::kIs)) op = BinaryOp::kIs;
+      else if (accept(TokenKind::kIsnt)) op = BinaryOp::kIsnt;
+      else return lhs;
+      lhs = make_binary(op, std::move(lhs), relational());
+    }
+  }
+
+  ExprPtr relational() {
+    ExprPtr lhs = additive();
+    for (;;) {
+      BinaryOp op;
+      if (accept(TokenKind::kLt)) op = BinaryOp::kLt;
+      else if (accept(TokenKind::kLe)) op = BinaryOp::kLe;
+      else if (accept(TokenKind::kGt)) op = BinaryOp::kGt;
+      else if (accept(TokenKind::kGe)) op = BinaryOp::kGe;
+      else return lhs;
+      lhs = make_binary(op, std::move(lhs), additive());
+    }
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    for (;;) {
+      BinaryOp op;
+      if (accept(TokenKind::kPlus)) op = BinaryOp::kAdd;
+      else if (accept(TokenKind::kMinus)) op = BinaryOp::kSub;
+      else return lhs;
+      lhs = make_binary(op, std::move(lhs), multiplicative());
+    }
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      BinaryOp op;
+      if (accept(TokenKind::kStar)) op = BinaryOp::kMul;
+      else if (accept(TokenKind::kSlash)) op = BinaryOp::kDiv;
+      else if (accept(TokenKind::kPercent)) op = BinaryOp::kMod;
+      else return lhs;
+      lhs = make_binary(op, std::move(lhs), unary());
+    }
+  }
+
+  ExprPtr unary() {
+    if (accept(TokenKind::kNot)) return make_unary(UnaryOp::kNot, unary());
+    if (accept(TokenKind::kMinus)) return make_unary(UnaryOp::kNeg, unary());
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        Token tok = take();
+        return make_literal(Value::integer(tok.int_value));
+      }
+      case TokenKind::kReal: {
+        Token tok = take();
+        return make_literal(Value::real(tok.real_value));
+      }
+      case TokenKind::kString: {
+        Token tok = take();
+        return make_literal(Value::string(std::move(tok.text)));
+      }
+      case TokenKind::kLParen: {
+        take();
+        ExprPtr e = ternary();
+        expect(TokenKind::kRParen, "expected ')'");
+        return e;
+      }
+      case TokenKind::kIdentifier:
+        return identifier();
+      default:
+        throw ParseError(std::string("expected expression, got '") +
+                             token_kind_name(t.kind) + "'",
+                         t.offset);
+    }
+  }
+
+  ExprPtr identifier() {
+    Token tok = take();
+    const std::string& name = tok.text;
+    if (iequals(name, "true")) return make_literal(Value::boolean(true));
+    if (iequals(name, "false")) return make_literal(Value::boolean(false));
+    if (iequals(name, "undefined")) return make_literal(Value::undefined());
+    if (iequals(name, "error")) return make_literal(Value::error());
+
+    if (iequals(name, "my") || iequals(name, "target")) {
+      if (accept(TokenKind::kDot)) {
+        Token attr = take();
+        if (attr.kind != TokenKind::kIdentifier) {
+          throw ParseError("expected attribute name after scope", attr.offset);
+        }
+        const AttrScope scope =
+            iequals(name, "my") ? AttrScope::kMy : AttrScope::kTarget;
+        return make_attr(scope, std::move(attr.text));
+      }
+    }
+    if (accept(TokenKind::kLParen)) {
+      std::vector<ExprPtr> args;
+      if (!accept(TokenKind::kRParen)) {
+        args.push_back(ternary());
+        while (accept(TokenKind::kComma)) args.push_back(ternary());
+        expect(TokenKind::kRParen, "expected ')' after arguments");
+      }
+      return make_call(std::move(tok.text), std::move(args));
+    }
+    return make_attr(AttrScope::kNone, std::move(tok.text));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse(std::string_view source) {
+  return Parser(lex(source)).run();
+}
+
+std::string to_string(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal.to_string();
+    case Expr::Kind::kAttrRef:
+      switch (expr.scope) {
+        case AttrScope::kMy: return "MY." + expr.attr;
+        case AttrScope::kTarget: return "TARGET." + expr.attr;
+        case AttrScope::kNone: return expr.attr;
+      }
+      return expr.attr;
+    case Expr::Kind::kUnary:
+      return std::string(expr.unary_op == UnaryOp::kNot ? "!" : "-") + "(" +
+             to_string(*expr.children[0]) + ")";
+    case Expr::Kind::kBinary:
+      return "(" + to_string(*expr.children[0]) + " " +
+             binary_op_text(expr.binary_op) + " " +
+             to_string(*expr.children[1]) + ")";
+    case Expr::Kind::kTernary:
+      return "(" + to_string(*expr.children[0]) + " ? " +
+             to_string(*expr.children[1]) + " : " +
+             to_string(*expr.children[2]) + ")";
+    case Expr::Kind::kCall: {
+      std::string out = expr.function + "(";
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += to_string(*expr.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "error";
+}
+
+}  // namespace phisched::classad

@@ -1,0 +1,30 @@
+// Pratt parser for ClassAd expressions.
+//
+// Grammar (precedence low → high):
+//   ternary     :=  or ( '?' expr ':' ternary )?
+//   or          :=  and ( '||' and )*
+//   and         :=  equality ( '&&' equality )*
+//   equality    :=  relational ( ('=='|'!='|'=?='|'=!=') relational )*
+//   relational  :=  additive ( ('<'|'<='|'>'|'>=') additive )*
+//   additive    :=  multiplicative ( ('+'|'-') multiplicative )*
+//   multiplicative := unary ( ('*'|'/'|'%') unary )*
+//   unary       :=  ('!'|'-') unary | primary
+//   primary     :=  literal | attrref | call | '(' expr ')'
+//   attrref     :=  [ ('MY'|'TARGET') '.' ] identifier
+//   call        :=  identifier '(' [ expr (',' expr)* ] ')'
+//
+// The identifiers true/false/undefined/error are literals (case-insensitive).
+#pragma once
+
+#include <string_view>
+
+#include "classad/ast.hpp"
+#include "classad/lexer.hpp"
+
+namespace phisched::classad {
+
+/// Parses one expression; throws ParseError on malformed input or
+/// trailing garbage.
+[[nodiscard]] ExprPtr parse(std::string_view source);
+
+}  // namespace phisched::classad

@@ -1,0 +1,76 @@
+#include "cluster/footprint.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace phisched::cluster {
+
+FootprintResult find_footprint(ExperimentConfig config,
+                               const workload::JobSet& jobs,
+                               SimTime target_makespan, std::size_t max_nodes) {
+  PHISCHED_REQUIRE(max_nodes > 0, "find_footprint: max_nodes must be positive");
+  FootprintResult result;
+  for (std::size_t n = 1; n <= max_nodes; ++n) {
+    config.node_count = n;
+    const ExperimentResult r = run_experiment(config, jobs);
+    result.sweep.emplace_back(n, r.makespan);
+    if (r.makespan <= target_makespan) {
+      result.nodes = n;
+      result.makespan_at_footprint = r.makespan;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::size_t, SimTime>> makespan_by_size(
+    ExperimentConfig config, const workload::JobSet& jobs,
+    const std::vector<std::size_t>& sizes) {
+  std::vector<std::pair<std::size_t, SimTime>> out;
+  out.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    config.node_count = n;
+    const ExperimentResult r = run_experiment(config, jobs);
+    out.emplace_back(n, r.makespan);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, SimTime>> makespan_by_size_parallel(
+    const ExperimentConfig& config, const workload::JobSet& jobs,
+    const std::vector<std::size_t>& sizes, unsigned max_threads) {
+  if (max_threads == 0) {
+    max_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<std::pair<std::size_t, SimTime>> out(sizes.size());
+
+  // Work-stealing over the size list: each simulation owns all its state
+  // (simulator, RNGs, cluster), so runs are embarrassingly parallel and
+  // the output is identical to the serial sweep.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= sizes.size()) return;
+      ExperimentConfig local = config;
+      local.node_count = sizes[i];
+      out[i] = {sizes[i], run_experiment(local, jobs).makespan};
+    }
+  };
+
+  const unsigned n_threads =
+      std::min<unsigned>(max_threads, static_cast<unsigned>(sizes.size()));
+  if (n_threads <= 1) {
+    worker();
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+}  // namespace phisched::cluster

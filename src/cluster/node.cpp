@@ -1,0 +1,89 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "condor/ads.hpp"
+
+namespace phisched::cluster {
+
+Node::Node(Simulator& sim, NodeId id, NodeConfig config, Rng rng)
+    : sim_(sim), id_(id), config_(config) {
+  PHISCHED_REQUIRE(config_.hw.phi_devices > 0, "Node: need at least one device");
+  PHISCHED_REQUIRE(config_.hw.slots > 0, "Node: need at least one slot");
+  config_.device.hw = config_.hw.phi;
+
+  std::vector<phi::Device*> raw;
+  for (DeviceId d = 0; d < config_.hw.phi_devices; ++d) {
+    auto dev = std::make_unique<phi::Device>(
+        sim_, config_.device, rng.child("device" + std::to_string(d)),
+        "mic" + std::to_string(d) + "@" + condor::machine_name(id_));
+    raw.push_back(dev.get());
+    devices_.push_back(std::move(dev));
+  }
+  middleware_ =
+      std::make_unique<cosmic::NodeMiddleware>(sim_, raw, config_.middleware);
+}
+
+phi::Device& Node::device(DeviceId d) {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "Node: bad device id");
+  return *devices_[static_cast<std::size_t>(d)];
+}
+
+const phi::Device& Node::device(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "Node: bad device id");
+  return *devices_[static_cast<std::size_t>(d)];
+}
+
+void Node::claim_slot() {
+  PHISCHED_REQUIRE(free_slots() > 0, "Node: no free slots");
+  ++busy_slots_;
+}
+
+void Node::release_slot() {
+  PHISCHED_REQUIRE(busy_slots_ > 0, "Node: releasing an unclaimed slot");
+  --busy_slots_;
+}
+
+int Node::free_exclusive_devices() const {
+  int n = 0;
+  for (DeviceId d = 0; d < device_count(); ++d) {
+    if (middleware_->jobs_on_device(d) == 0) ++n;
+  }
+  return n;
+}
+
+std::optional<DeviceId> Node::pick_exclusive_device() const {
+  for (DeviceId d = 0; d < device_count(); ++d) {
+    if (middleware_->jobs_on_device(d) == 0) return d;
+  }
+  return std::nullopt;
+}
+
+classad::ClassAd Node::machine_ad() const {
+  classad::ClassAd ad;
+  ad.insert_string(condor::kAttrName, condor::machine_name(id_));
+  ad.insert_integer(condor::kAttrTotalSlots, total_slots());
+  ad.insert_integer(condor::kAttrFreeSlots, free_slots());
+  ad.insert_integer(condor::kAttrPhiDevices, device_count());
+  ad.insert_integer(condor::kAttrPhiHwThreads, config_.hw.phi.hw_threads());
+  ad.insert_integer(condor::kAttrPhiFreeDevices, free_exclusive_devices());
+
+  MiB best_free = 0;
+  for (DeviceId d = 0; d < device_count(); ++d) {
+    const MiB free = middleware_->unreserved_memory(d);
+    best_free = std::max(best_free, free);
+    ad.insert_integer(condor::per_device_memory_attr(d), free);
+    // May go negative when declared threads stack beyond the hardware
+    // budget; schedulers need the raw value to account residents.
+    ad.insert_integer(condor::per_device_threads_attr(d),
+                      middleware_->unreserved_threads(d));
+  }
+  ad.insert_integer(condor::kAttrPhiFreeMemory, best_free);
+  ad.insert_expr(condor::kAttrRequirements, "MY.FreeSlots >= 1");
+  return ad;
+}
+
+}  // namespace phisched::cluster

@@ -1,0 +1,64 @@
+// A compute node: host slots + Xeon Phi devices + node middleware, plus
+// the machine ClassAd it advertises to the collector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "classad/classad.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "cosmic/middleware.hpp"
+#include "phi/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::cluster {
+
+struct NodeConfig {
+  NodeHardware hw{};
+  /// Device behaviour knobs; the PhiHardware inside is overridden by
+  /// hw.phi so there is a single source of truth.
+  phi::DeviceConfig device{};
+  cosmic::MiddlewareConfig middleware{};
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, NodeId id, NodeConfig config, Rng rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] int device_count() const { return config_.hw.phi_devices; }
+  [[nodiscard]] phi::Device& device(DeviceId d);
+  [[nodiscard]] const phi::Device& device(DeviceId d) const;
+  [[nodiscard]] cosmic::NodeMiddleware& middleware() { return *middleware_; }
+  [[nodiscard]] const cosmic::NodeMiddleware& middleware() const {
+    return *middleware_;
+  }
+
+  [[nodiscard]] int total_slots() const { return config_.hw.slots; }
+  [[nodiscard]] int free_slots() const { return config_.hw.slots - busy_slots_; }
+  void claim_slot();
+  void release_slot();
+
+  /// Devices with no resident job — exclusive-allocation capacity.
+  [[nodiscard]] int free_exclusive_devices() const;
+
+  /// First device with no resident job, or nullopt.
+  [[nodiscard]] std::optional<DeviceId> pick_exclusive_device() const;
+
+  /// The ClassAd the node's startd would push to the collector.
+  [[nodiscard]] classad::ClassAd machine_ad() const;
+
+ private:
+  Simulator& sim_;
+  NodeId id_;
+  NodeConfig config_;
+  std::vector<std::unique_ptr<phi::Device>> devices_;
+  std::unique_ptr<cosmic::NodeMiddleware> middleware_;
+  int busy_slots_ = 0;
+};
+
+}  // namespace phisched::cluster

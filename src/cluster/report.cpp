@@ -1,0 +1,85 @@
+#include "cluster/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace phisched::cluster {
+
+std::string format_result(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << "makespan:           " << AsciiTable::cell(result.makespan, 1) << " s\n"
+     << "core utilization:   " << AsciiTable::percent(result.avg_core_utilization)
+     << "\n"
+     << "jobs:               " << result.jobs_completed << " completed, "
+     << result.jobs_failed << " failed, " << result.job_retries
+     << " retries\n"
+     << "coprocessor energy: " << AsciiTable::cell(result.device_energy_mj, 2)
+     << " MJ\n"
+     << "mean turnaround:    " << AsciiTable::cell(result.mean_turnaround, 1)
+     << " s\n"
+     << "offloads:           " << result.offloads_started << " started, "
+     << result.offloads_queued << " queued\n"
+     << "kills:              " << result.oom_kills << " OOM, "
+     << result.container_kills << " container\n"
+     << "negotiation cycles: " << result.negotiation_cycles << " ("
+     << result.matches << " matches, " << result.addon_pins << " pins)\n"
+     << "simulator events:   " << result.events_processed << "\n";
+  return os.str();
+}
+
+AsciiTable comparison_table(const std::vector<NamedResult>& rows) {
+  PHISCHED_REQUIRE(!rows.empty(), "comparison_table: need at least one row");
+  AsciiTable table({"Configuration", "Makespan (s)", "vs " + rows[0].name,
+                    "Core util", "Mean turnaround (s)", "Failed"});
+  const double baseline = rows[0].result.makespan;
+  for (const NamedResult& row : rows) {
+    const bool is_baseline = &row == &rows[0];
+    table.add_row(
+        {row.name, AsciiTable::cell(row.result.makespan, 0),
+         is_baseline ? "-"
+                     : AsciiTable::percent(1.0 - row.result.makespan / baseline),
+         AsciiTable::percent(row.result.avg_core_utilization),
+         AsciiTable::cell(row.result.mean_turnaround, 1),
+         AsciiTable::cell(static_cast<std::int64_t>(row.result.jobs_failed))});
+  }
+  return table;
+}
+
+CsvWriter results_csv(const std::vector<NamedResult>& rows) {
+  CsvWriter csv({"configuration", "makespan_s", "core_utilization",
+                 "jobs_completed", "jobs_failed", "mean_turnaround_s",
+                 "offloads_started", "offloads_queued", "oom_kills",
+                 "container_kills", "negotiation_cycles", "addon_pins"});
+  for (const NamedResult& row : rows) {
+    const ExperimentResult& r = row.result;
+    csv.add_row({row.name, AsciiTable::cell(r.makespan, 3),
+                 AsciiTable::cell(r.avg_core_utilization, 4),
+                 std::to_string(r.jobs_completed),
+                 std::to_string(r.jobs_failed),
+                 AsciiTable::cell(r.mean_turnaround, 3),
+                 std::to_string(r.offloads_started),
+                 std::to_string(r.offloads_queued),
+                 std::to_string(r.oom_kills),
+                 std::to_string(r.container_kills),
+                 std::to_string(r.negotiation_cycles),
+                 std::to_string(r.addon_pins)});
+  }
+  return csv;
+}
+
+AsciiTable utilization_table(const ExperimentResult& result,
+                             int devices_per_node) {
+  PHISCHED_REQUIRE(devices_per_node > 0,
+                   "utilization_table: devices_per_node must be positive");
+  AsciiTable table({"Device", "Core utilization"});
+  for (std::size_t i = 0; i < result.per_device_utilization.size(); ++i) {
+    const auto node = static_cast<NodeId>(i / static_cast<std::size_t>(devices_per_node));
+    const auto dev = static_cast<DeviceId>(i % static_cast<std::size_t>(devices_per_node));
+    table.add_row({to_string(DeviceAddress{node, dev}),
+                   AsciiTable::percent(result.per_device_utilization[i])});
+  }
+  return table;
+}
+
+}  // namespace phisched::cluster

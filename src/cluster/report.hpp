@@ -1,0 +1,32 @@
+// Human-readable and machine-readable reporting of experiment results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "common/table.hpp"
+
+namespace phisched::cluster {
+
+/// One named result row (e.g. "MCC" → its ExperimentResult).
+struct NamedResult {
+  std::string name;
+  ExperimentResult result;
+};
+
+/// Multi-line summary of a single run: makespan, utilization, job and
+/// offload counters, scheduling statistics.
+[[nodiscard]] std::string format_result(const ExperimentResult& result);
+
+/// Side-by-side comparison table; reductions are relative to rows[0].
+[[nodiscard]] AsciiTable comparison_table(const std::vector<NamedResult>& rows);
+
+/// CSV with one row per named result (for plotting pipelines).
+[[nodiscard]] CsvWriter results_csv(const std::vector<NamedResult>& rows);
+
+/// Per-device utilization breakdown of one run.
+[[nodiscard]] AsciiTable utilization_table(const ExperimentResult& result,
+                                           int devices_per_node);
+
+}  // namespace phisched::cluster

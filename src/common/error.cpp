@@ -1,0 +1,32 @@
+#include "common/error.hpp"
+
+namespace phisched::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::string out = kind;
+  out += ": ";
+  out += msg;
+  out += " [";
+  out += expr;
+  out += " at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  out += "]";
+  return out;
+}
+}  // namespace
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(format("internal invariant violated", expr, file, line, msg));
+}
+
+void throw_invalid(const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  throw std::invalid_argument(format("precondition violated", expr, file, line, msg));
+}
+
+}  // namespace phisched::detail

@@ -1,0 +1,40 @@
+// Assertion and error-reporting machinery.
+//
+// Simulation code uses PHISCHED_CHECK for invariants that indicate a bug in
+// phisched itself (throws phisched::InternalError) and PHISCHED_REQUIRE for
+// misuse of the public API (throws std::invalid_argument).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace phisched {
+
+/// Raised when an internal invariant is violated; indicates a phisched bug.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+[[noreturn]] void throw_invalid(const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace phisched
+
+#define PHISCHED_CHECK(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::phisched::detail::throw_internal(#expr, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+#define PHISCHED_REQUIRE(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::phisched::detail::throw_invalid(#expr, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Simulation components log through this so that
+// verbose traces can be switched on for debugging without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace phisched {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  explicit LogStream(LogLevel lvl) : level(lvl) {}
+  ~LogStream() { log_line(level, os.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  LogLevel level;
+  std::ostringstream os;
+};
+}  // namespace detail
+
+}  // namespace phisched
+
+#define PHISCHED_LOG(level_enum)                                      \
+  if (::phisched::log_level() > (level_enum)) {                       \
+  } else                                                              \
+    ::phisched::detail::LogStream(level_enum).os
+
+#define PHISCHED_TRACE() PHISCHED_LOG(::phisched::LogLevel::kTrace)
+#define PHISCHED_DEBUG() PHISCHED_LOG(::phisched::LogLevel::kDebug)
+#define PHISCHED_INFO() PHISCHED_LOG(::phisched::LogLevel::kInfo)
+#define PHISCHED_WARN() PHISCHED_LOG(::phisched::LogLevel::kWarn)
+#define PHISCHED_ERROR() PHISCHED_LOG(::phisched::LogLevel::kError)

@@ -1,0 +1,37 @@
+// Memory quantization helpers.
+//
+// The paper's knapsack DP quantizes memory requests to 50 MiB increments
+// (Section IV-C: "if jobs can request memory in increments of 50MB, then w
+// is 8GB/50MB = 160"). The same granularity is used when the workload
+// generators round sampled memory requirements.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace phisched {
+
+/// Default memory quantum, matching the paper's complexity analysis.
+inline constexpr MiB kMemoryQuantumMiB = 50;
+
+/// Rounds `value` up to the next multiple of `quantum`.
+[[nodiscard]] constexpr MiB quantize_up(MiB value, MiB quantum = kMemoryQuantumMiB) {
+  PHISCHED_REQUIRE(quantum > 0, "quantize_up: quantum must be positive");
+  PHISCHED_REQUIRE(value >= 0, "quantize_up: value must be non-negative");
+  return ((value + quantum - 1) / quantum) * quantum;
+}
+
+/// Rounds `value` down to the previous multiple of `quantum`.
+[[nodiscard]] constexpr MiB quantize_down(MiB value, MiB quantum = kMemoryQuantumMiB) {
+  PHISCHED_REQUIRE(quantum > 0, "quantize_down: quantum must be positive");
+  PHISCHED_REQUIRE(value >= 0, "quantize_down: value must be non-negative");
+  return (value / quantum) * quantum;
+}
+
+/// Number of DP buckets required for the given capacity.
+[[nodiscard]] constexpr std::int64_t bucket_count(MiB capacity,
+                                                  MiB quantum = kMemoryQuantumMiB) {
+  return quantize_down(capacity, quantum) / quantum;
+}
+
+}  // namespace phisched

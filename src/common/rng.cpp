@@ -1,0 +1,69 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phisched {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Rng Rng::child(std::string_view label) const {
+  std::uint64_t state = seed_ ^ hash_label(label);
+  std::uint64_t derived = splitmix64(state);
+  return Rng(derived);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PHISCHED_REQUIRE(lo <= hi, "uniform_int: empty range");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  PHISCHED_REQUIRE(lo <= hi, "uniform_real: empty range");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double lo,
+                             double hi) {
+  PHISCHED_REQUIRE(lo <= hi, "truncated_normal: empty range");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double x = normal(mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+}
+
+double Rng::exponential(double rate) {
+  PHISCHED_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  PHISCHED_REQUIRE(n > 0, "index: empty container");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n - 1)));
+}
+
+}  // namespace phisched

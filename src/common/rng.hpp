@@ -1,0 +1,73 @@
+// Deterministic, splittable random-number generation.
+//
+// Every stochastic component of the simulator (workload generators, random
+// packing policy, OOM victim selection, ...) draws from its own Rng derived
+// from the experiment seed via Rng::child, so adding draws to one component
+// never perturbs another and whole experiments replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+/// SplitMix64 step; used to derive well-mixed child seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stable 64-bit FNV-1a hash of a label, used to name child streams.
+[[nodiscard]] std::uint64_t hash_label(std::string_view label);
+
+/// A seeded random stream with the distribution helpers phisched needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child stream identified by a label. Children
+  /// with distinct labels (or distinct parents) are statistically
+  /// independent for our purposes.
+  [[nodiscard]] Rng child(std::string_view label) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Normal draw with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Normal draw rejected-and-retried until it falls within [lo, hi].
+  /// Falls back to clamping after 64 rejections (degenerate parameters).
+  [[nodiscard]] double truncated_normal(double mean, double stddev, double lo,
+                                        double hi);
+
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponential inter-arrival draw with the given rate (events/second).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Picks a uniformly random element index from a container of size n.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Access to the underlying engine for std:: distributions.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace phisched

@@ -1,0 +1,46 @@
+#include "common/sparkline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+namespace {
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // index 0..9
+
+char level_char(double x, double lo, double hi) {
+  if (hi <= lo) return kRamp[0];
+  const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  return kRamp[static_cast<std::size_t>(std::lround(t * kLevels))];
+}
+}  // namespace
+
+std::string sparkline(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  return sparkline(values, *lo_it, *hi_it, values.size());
+}
+
+std::string sparkline(const std::vector<double>& values, double lo, double hi,
+                      std::size_t width) {
+  PHISCHED_REQUIRE(width > 0, "sparkline: width must be positive");
+  if (values.empty()) return {};
+  const std::size_t n = values.size();
+  const std::size_t cols = std::min(width, n);
+  std::string out;
+  out.reserve(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    // Mean-pool the samples mapping to this column.
+    const std::size_t begin = c * n / cols;
+    const std::size_t end = std::max(begin + 1, (c + 1) * n / cols);
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    out += level_char(sum / static_cast<double>(end - begin), lo, hi);
+  }
+  return out;
+}
+
+}  // namespace phisched

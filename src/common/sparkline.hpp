@@ -1,0 +1,19 @@
+// Tiny ASCII sparklines for time-series telemetry in terminal reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace phisched {
+
+/// Renders `values` (any range; scaled to [min,max] unless both are
+/// given) as one character per sample using a 10-level ramp.
+/// Returns an empty string for empty input.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+/// Same, but with fixed bounds (e.g. 0..1 for utilizations) and resampled
+/// to at most `width` characters (mean pooling).
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    double lo, double hi, std::size_t width);
+
+}  // namespace phisched

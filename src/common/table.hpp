@@ -1,0 +1,49 @@
+// ASCII table and CSV reporters used by the benchmark harnesses to print
+// the paper's tables and figure series.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace phisched {
+
+/// Column-aligned plain-text table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with cell().
+  [[nodiscard]] static std::string cell(double v, int precision = 1);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  [[nodiscard]] static std::string percent(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV emitter (RFC-4180 quoting for commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the CSV to `path`; returns false on I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phisched

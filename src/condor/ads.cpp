@@ -1,0 +1,45 @@
+#include "condor/ads.hpp"
+
+namespace phisched::condor {
+
+std::string per_device_memory_attr(DeviceId d) {
+  return "PhiFreeMemory" + std::to_string(d);
+}
+
+std::string per_device_threads_attr(DeviceId d) {
+  return "PhiFreeThreads" + std::to_string(d);
+}
+
+std::string machine_name(NodeId node) {
+  return "node" + std::to_string(node);
+}
+
+std::string exclusive_requirements() {
+  return "TARGET.PhiFreeDevices >= MY.RequestPhiDevices && "
+         "TARGET.FreeSlots >= 1";
+}
+
+std::string sharing_requirements() {
+  return "TARGET.PhiFreeMemory >= MY.RequestPhiMemory && "
+         "TARGET.FreeSlots >= 1";
+}
+
+std::string arbitrary_requirements() { return "TARGET.FreeSlots >= 1"; }
+
+std::string pinned_requirements(NodeId node) {
+  return "TARGET.Name == \"" + machine_name(node) + "\" && " +
+         sharing_requirements();
+}
+
+classad::ClassAd make_job_ad(const workload::JobSpec& job,
+                             const std::string& requirements) {
+  classad::ClassAd ad;
+  ad.insert_integer(kAttrJobId, static_cast<std::int64_t>(job.id));
+  ad.insert_integer(kAttrRequestPhiMemory, job.mem_req_mib);
+  ad.insert_integer(kAttrRequestPhiThreads, job.threads_req);
+  ad.insert_integer(kAttrRequestPhiDevices, job.devices_req);
+  ad.insert_expr(kAttrRequirements, requirements);
+  return ad;
+}
+
+}  // namespace phisched::condor

@@ -1,0 +1,75 @@
+// ClassAd attribute conventions used by the mini-Condor pool.
+//
+// Machine (node) ads carry, in addition to identity, the Xeon Phi
+// resources the paper has nodes advertise through micinfo (Section IV-D1):
+// device count, free card memory, and free devices. Job ads carry the two
+// user-declared requirements (memory, threads) plus the Requirements
+// expression that gates matchmaking.
+#pragma once
+
+#include <string>
+
+#include "classad/classad.hpp"
+#include "common/types.hpp"
+#include "workload/jobspec.hpp"
+
+namespace phisched::condor {
+
+// --- machine-ad attributes ---------------------------------------------------
+inline constexpr const char* kAttrName = "Name";
+inline constexpr const char* kAttrFreeSlots = "FreeSlots";
+inline constexpr const char* kAttrTotalSlots = "TotalSlots";
+inline constexpr const char* kAttrPhiDevices = "PhiDevices";
+/// Largest unreserved memory over the node's devices (MiB).
+inline constexpr const char* kAttrPhiFreeMemory = "PhiFreeMemory";
+/// Devices with no resident job (exclusive-mode capacity).
+inline constexpr const char* kAttrPhiFreeDevices = "PhiFreeDevices";
+/// Hardware threads per device (240 on the paper's cards).
+inline constexpr const char* kAttrPhiHwThreads = "PhiHwThreads";
+/// Per-device unreserved memory: PhiFreeMemory0, PhiFreeMemory1, ...
+[[nodiscard]] std::string per_device_memory_attr(DeviceId d);
+/// Per-device unreserved (declared) threads: PhiFreeThreads0, ...
+[[nodiscard]] std::string per_device_threads_attr(DeviceId d);
+
+// --- job-ad attributes --------------------------------------------------------
+inline constexpr const char* kAttrJobId = "JobId";
+inline constexpr const char* kAttrRequestPhiMemory = "RequestPhiMemory";
+inline constexpr const char* kAttrRequestPhiThreads = "RequestPhiThreads";
+inline constexpr const char* kAttrRequestPhiDevices = "RequestPhiDevices";
+inline constexpr const char* kAttrRequirements = "Requirements";
+/// Set by the sharing-aware add-on: device index the job must use.
+inline constexpr const char* kAttrPinnedDevice = "PinnedDevice";
+/// Set by the add-on on every pin (single-device and gang): the chosen
+/// node's name. Marks the ad as carrying a live scheduling decision.
+inline constexpr const char* kAttrPinnedNode = "PinnedNode";
+/// Optional job priority (higher first; default 0). Jobs of equal
+/// priority keep FIFO order, as in Condor.
+inline constexpr const char* kAttrJobPrio = "JobPrio";
+
+/// Canonical machine name for a node ("node0", "node1", ...).
+[[nodiscard]] std::string machine_name(NodeId node);
+
+/// Requirements for the exclusive-allocation policy (MC): the job needs a
+/// whole free coprocessor.
+[[nodiscard]] std::string exclusive_requirements();
+
+/// Requirements for sharing configurations where a cluster-level scheduler
+/// verifies capacity (the add-on's pinned jobs): the advertised free card
+/// memory must cover the declaration.
+[[nodiscard]] std::string sharing_requirements();
+
+/// Requirements for plain Condor+COSMIC sharing (MCC): any node with a
+/// free slot. The paper: "jobs are packed arbitrarily to Xeon Phi
+/// coprocessors and COSMIC prevents them from oversubscribing memory and
+/// threads" — the cluster level does not consider coprocessor capacity.
+[[nodiscard]] std::string arbitrary_requirements();
+
+/// Requirements pinning a job to one node (the add-on's qedit), keeping
+/// the memory guard.
+[[nodiscard]] std::string pinned_requirements(NodeId node);
+
+/// Builds a job ad from a JobSpec with the given Requirements source.
+[[nodiscard]] classad::ClassAd make_job_ad(const workload::JobSpec& job,
+                                           const std::string& requirements);
+
+}  // namespace phisched::condor

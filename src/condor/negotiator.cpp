@@ -1,0 +1,115 @@
+#include "condor/negotiator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "condor/ads.hpp"
+
+namespace phisched::condor {
+
+Negotiator::Negotiator(Simulator& sim, Schedd& schedd, Collector& collector,
+                       DispatchFn dispatch, NegotiatorConfig config, Rng rng)
+    : sim_(sim),
+      schedd_(schedd),
+      collector_(collector),
+      dispatch_(std::move(dispatch)),
+      config_(config),
+      rng_(rng) {
+  PHISCHED_REQUIRE(dispatch_ != nullptr, "Negotiator: null dispatch callback");
+  PHISCHED_REQUIRE(config_.cycle_interval > 0.0,
+                   "Negotiator: cycle interval must be positive");
+}
+
+void Negotiator::start() {
+  timer_ = std::make_unique<PeriodicTimer>(sim_, config_.cycle_interval,
+                                           [this] { run_cycle(); });
+}
+
+void Negotiator::stop() { timer_.reset(); }
+
+void Negotiator::deduct(classad::ClassAd& machine, const classad::ClassAd& job,
+                        bool custom_resources) {
+  auto deduct_attr = [&](const char* machine_attr, const char* job_attr,
+                         std::int64_t fallback) {
+    if (!machine.has(machine_attr)) return;
+    const auto have = machine.eval_integer(machine_attr).value_or(0);
+    const auto want = job.eval_integer(job_attr).value_or(fallback);
+    machine.insert_integer(machine_attr, have - want);
+  };
+  deduct_attr(kAttrFreeSlots, "RequestSlots", 1);
+  if (custom_resources) {
+    deduct_attr(kAttrPhiFreeMemory, kAttrRequestPhiMemory, 0);
+    deduct_attr(kAttrPhiFreeDevices, kAttrRequestPhiDevices, 1);
+  }
+}
+
+void Negotiator::run_cycle() {
+  ++stats_.cycles;
+  if (pre_cycle_) pre_cycle_();
+
+  auto machines = collector_.machine_ads();
+  std::vector<JobId> pending = schedd_.pending();
+
+  // Higher JobPrio first; FIFO (the schedd's order) within equal
+  // priorities. Jobs without the attribute have priority 0. Priorities
+  // are evaluated once per job per cycle.
+  std::vector<std::pair<std::int64_t, JobId>> ordered;
+  ordered.reserve(pending.size());
+  for (JobId id : pending) {
+    ordered.emplace_back(
+        schedd_.record(id).ad.eval_integer(kAttrJobPrio).value_or(0), id);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  pending.clear();
+  for (const auto& [prio, id] : ordered) pending.push_back(id);
+
+  for (JobId job_id : pending) {
+    const JobRecord& rec = schedd_.record(job_id);
+    if (rec.state != JobState::kPending) continue;  // hook may have acted
+    const classad::ClassAd& job_ad = rec.ad;
+
+    // Candidate machines whose ads match the job both ways.
+    std::vector<std::size_t> candidates;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (classad::symmetric_match(job_ad, machines[m].second)) {
+        candidates.push_back(m);
+      }
+    }
+    if (candidates.empty()) continue;
+
+    std::size_t chosen = candidates.front();
+    switch (config_.order) {
+      case MachineOrder::kFirstFit:
+        break;
+      case MachineOrder::kRandom:
+        chosen = candidates[rng_.index(candidates.size())];
+        break;
+      case MachineOrder::kBestRank: {
+        double best_rank = classad::eval_rank(job_ad, machines[chosen].second);
+        for (std::size_t m : candidates) {
+          const double rank =
+              classad::eval_rank(job_ad, machines[m].second);
+          if (rank > best_rank) {
+            best_rank = rank;
+            chosen = m;
+          }
+        }
+        break;
+      }
+    }
+
+    const NodeId node = machines[chosen].first;
+    schedd_.mark_matched(job_id, node);
+    if (dispatch_(job_id, node)) {
+      ++stats_.matches;
+      deduct(machines[chosen].second, job_ad, config_.deduct_custom_resources);
+    } else {
+      ++stats_.rejected_dispatches;
+      schedd_.release_match(job_id);
+    }
+  }
+}
+
+}  // namespace phisched::condor

@@ -1,0 +1,101 @@
+// The negotiator: periodic FIFO matchmaking between pending jobs and
+// machine ads (Section II-D).
+//
+// Each negotiation cycle snapshots the machine ads, walks pending jobs in
+// FIFO order, and matches each against candidate machines with the
+// two-way ClassAd Requirements check. A successful claim deducts the
+// job's requested resources from the cycle-local copy of the machine ad
+// (so one cycle can pack several jobs onto a node without oversubscribing
+// the advertisement) and hands the (job, node) pair to the dispatch
+// callback, which models the shadow/starter launch path.
+//
+// The optional pre-cycle hook is the integration point for the paper's
+// sharing-aware add-on: it runs right before matchmaking, exactly like the
+// external scheduler that batches condor_qedit updates so they are visible
+// to the next cycle.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "condor/collector.hpp"
+#include "condor/schedd.hpp"
+#include "sim/timer.hpp"
+
+namespace phisched::condor {
+
+/// How the negotiator orders candidate machines for each job.
+enum class MachineOrder {
+  kFirstFit,  ///< lowest node id that matches
+  kRandom,    ///< uniformly random matching machine (the paper's MCC:
+              ///< "jobs are selected randomly at the cluster level")
+  kBestRank,  ///< machine maximizing the job ad's Rank expression
+              ///< (Condor's preference mechanism); ties go to the lowest
+              ///< node id, jobs without Rank behave like kFirstFit
+};
+
+struct NegotiatorConfig {
+  SimTime cycle_interval = 10.0;
+  MachineOrder order = MachineOrder::kRandom;
+  /// Whether the cycle-local machine-ad copy deducts the CUSTOM Phi
+  /// resource attributes (PhiFreeMemory, PhiFreeDevices) as jobs are
+  /// matched. Vanilla Condor deducts only standard claimed resources
+  /// (slots); custom attributes stay stale until the next collector
+  /// update, so several jobs can match the same advertised memory within
+  /// one cycle and the surplus dispatches fail at the node. Keep false to
+  /// model the paper's stock Condor (MC/MCC); the sharing-aware add-on
+  /// does its own consistent accounting and does not need this either.
+  bool deduct_custom_resources = false;
+};
+
+struct NegotiatorStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t rejected_dispatches = 0;
+};
+
+class Negotiator {
+ public:
+  /// Dispatch callback: launch `job` on `node`. Returning false refuses
+  /// the match (the job goes back to pending).
+  using DispatchFn = std::function<bool(JobId, NodeId)>;
+
+  Negotiator(Simulator& sim, Schedd& schedd, Collector& collector,
+             DispatchFn dispatch, NegotiatorConfig config, Rng rng);
+
+  Negotiator(const Negotiator&) = delete;
+  Negotiator& operator=(const Negotiator&) = delete;
+
+  /// Installs the add-on hook executed at the start of every cycle.
+  void set_pre_cycle_hook(std::function<void()> hook) {
+    pre_cycle_ = std::move(hook);
+  }
+
+  /// Starts periodic cycles (the first fires after one interval).
+  void start();
+  void stop();
+
+  /// Runs one negotiation cycle immediately (also used by tests).
+  void run_cycle();
+
+  [[nodiscard]] const NegotiatorStats& stats() const { return stats_; }
+
+ private:
+  /// Deducts the job's requests from a cycle-local machine ad copy.
+  static void deduct(classad::ClassAd& machine, const classad::ClassAd& job,
+                     bool custom_resources);
+
+  Simulator& sim_;
+  Schedd& schedd_;
+  Collector& collector_;
+  DispatchFn dispatch_;
+  NegotiatorConfig config_;
+  Rng rng_;
+  std::function<void()> pre_cycle_;
+  std::unique_ptr<PeriodicTimer> timer_;
+  NegotiatorStats stats_;
+};
+
+}  // namespace phisched::condor

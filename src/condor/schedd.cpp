@@ -1,0 +1,129 @@
+#include "condor/schedd.hpp"
+
+#include "classad/parser.hpp"
+#include "common/error.hpp"
+
+namespace phisched::condor {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kMatched: return "matched";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void Schedd::submit(JobId id, classad::ClassAd ad) {
+  PHISCHED_REQUIRE(jobs_.find(id) == jobs_.end(), "submit: duplicate job id");
+  JobRecord rec;
+  rec.id = id;
+  rec.ad = std::move(ad);
+  rec.submit_time = sim_.now();
+  jobs_.emplace(id, std::move(rec));
+  fifo_.push_back(id);
+}
+
+JobRecord& Schedd::mutable_record(JobId id) {
+  auto it = jobs_.find(id);
+  PHISCHED_REQUIRE(it != jobs_.end(), "schedd: unknown job");
+  return it->second;
+}
+
+void Schedd::qedit(JobId id, const std::string& attr, classad::ExprPtr expr) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kPending,
+                   "qedit: job is no longer pending");
+  rec.ad.insert(attr, std::move(expr));
+}
+
+void Schedd::qedit_expr(JobId id, const std::string& attr,
+                        const std::string& expr_source) {
+  qedit(id, attr, classad::parse(expr_source));
+}
+
+std::vector<JobId> Schedd::pending() const {
+  std::vector<JobId> out;
+  for (JobId id : fifo_) {
+    auto it = jobs_.find(id);
+    if (it != jobs_.end() && it->second.state == JobState::kPending) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+const JobRecord& Schedd::record(JobId id) const {
+  auto it = jobs_.find(id);
+  PHISCHED_REQUIRE(it != jobs_.end(), "schedd: unknown job");
+  return it->second;
+}
+
+bool Schedd::known(JobId id) const { return jobs_.find(id) != jobs_.end(); }
+
+void Schedd::mark_matched(JobId id, NodeId node) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kPending, "mark_matched: not pending");
+  rec.state = JobState::kMatched;
+  rec.node = node;
+}
+
+void Schedd::mark_running(JobId id) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kMatched, "mark_running: not matched");
+  rec.state = JobState::kRunning;
+  rec.start_time = sim_.now();
+}
+
+void Schedd::mark_completed(JobId id) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kRunning, "mark_completed: not running");
+  rec.state = JobState::kCompleted;
+  rec.finish_time = sim_.now();
+  last_finish_ = sim_.now();
+  ++completed_;
+  if (on_terminal_) on_terminal_(rec);
+}
+
+void Schedd::mark_failed(JobId id) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kRunning ||
+                       rec.state == JobState::kMatched,
+                   "mark_failed: job not active");
+  rec.state = JobState::kFailed;
+  rec.finish_time = sim_.now();
+  last_finish_ = sim_.now();
+  ++failed_;
+  if (on_terminal_) on_terminal_(rec);
+}
+
+void Schedd::requeue(JobId id, classad::ClassAd new_ad) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kRunning ||
+                       rec.state == JobState::kMatched,
+                   "requeue: job not active");
+  rec.state = JobState::kPending;
+  rec.node = -1;
+  rec.start_time = -1.0;
+  rec.ad = std::move(new_ad);
+  rec.retries += 1;
+}
+
+void Schedd::release_match(JobId id) {
+  JobRecord& rec = mutable_record(id);
+  PHISCHED_REQUIRE(rec.state == JobState::kMatched, "release_match: not matched");
+  rec.state = JobState::kPending;
+  rec.node = -1;
+}
+
+std::size_t Schedd::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, rec] : jobs_) {
+    if (rec.state == JobState::kPending) ++n;
+  }
+  return n;
+}
+
+}  // namespace phisched::condor

@@ -1,0 +1,107 @@
+// The schedd: mini-Condor's job queue.
+//
+// Jobs are submitted as ClassAds, examined by the negotiator in FIFO
+// order, and may be edited in place with qedit (the mechanism the paper's
+// add-on uses, via condor_qedit, to pin jobs to nodes). The schedd also
+// records the lifecycle timestamps experiments report on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "classad/classad.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::condor {
+
+enum class JobState {
+  kPending,   ///< in the queue, waiting to be matched
+  kMatched,   ///< matched to a node, dispatch in flight
+  kRunning,   ///< starter spawned the job on a node
+  kCompleted, ///< finished normally
+  kFailed,    ///< killed (OOM / container violation)
+};
+
+[[nodiscard]] const char* job_state_name(JobState s);
+
+struct JobRecord {
+  JobId id = 0;
+  classad::ClassAd ad;
+  JobState state = JobState::kPending;
+  NodeId node = -1;  ///< where it was matched/ran
+  SimTime submit_time = 0.0;
+  SimTime start_time = -1.0;
+  SimTime finish_time = -1.0;
+  int retries = 0;  ///< times the job was requeued after a failure
+};
+
+class Schedd {
+ public:
+  explicit Schedd(Simulator& sim) : sim_(sim) {}
+
+  Schedd(const Schedd&) = delete;
+  Schedd& operator=(const Schedd&) = delete;
+
+  /// Enqueues a job ad. `id` must be unique; FIFO order is submission
+  /// order (ties by id).
+  void submit(JobId id, classad::ClassAd ad);
+
+  /// condor_qedit: replaces one attribute of a PENDING job's ad.
+  void qedit(JobId id, const std::string& attr, classad::ExprPtr expr);
+  void qedit_expr(JobId id, const std::string& attr,
+                  const std::string& expr_source);
+
+  /// Pending job ids in FIFO order.
+  [[nodiscard]] std::vector<JobId> pending() const;
+
+  [[nodiscard]] const JobRecord& record(JobId id) const;
+  [[nodiscard]] bool known(JobId id) const;
+
+  // Lifecycle transitions (driven by negotiator / starter / node).
+  void mark_matched(JobId id, NodeId node);
+  void mark_running(JobId id);
+  void mark_completed(JobId id);
+  void mark_failed(JobId id);
+  /// Returns a matched-but-not-running job to the pending queue (its
+  /// dispatch was refused).
+  void release_match(JobId id);
+
+  /// Requeues a killed job for another attempt instead of failing it
+  /// (Condor's on-failure retry): the job returns to the pending queue
+  /// with a fresh ad (e.g. a boosted memory declaration) and its retry
+  /// counter incremented. Does NOT count as a terminal transition.
+  void requeue(JobId id, classad::ClassAd new_ad);
+
+  [[nodiscard]] std::size_t submitted_count() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed_count() const { return completed_; }
+  [[nodiscard]] std::size_t failed_count() const { return failed_; }
+  [[nodiscard]] std::size_t pending_count() const;
+  /// True when every submitted job reached a terminal state.
+  [[nodiscard]] bool drained() const {
+    return completed_ + failed_ == jobs_.size();
+  }
+
+  /// Invoked after every terminal transition (completed or failed).
+  void set_on_terminal(std::function<void(const JobRecord&)> fn) {
+    on_terminal_ = std::move(fn);
+  }
+
+  /// Time the last job reached a terminal state — the makespan once
+  /// drained() holds.
+  [[nodiscard]] SimTime last_finish_time() const { return last_finish_; }
+
+ private:
+  JobRecord& mutable_record(JobId id);
+
+  Simulator& sim_;
+  std::map<JobId, JobRecord> jobs_;
+  std::vector<JobId> fifo_;  // submission order
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  SimTime last_finish_ = 0.0;
+  std::function<void(const JobRecord&)> on_terminal_;
+};
+
+}  // namespace phisched::condor

@@ -1,0 +1,421 @@
+#include "cosmic/middleware.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace phisched::cosmic {
+
+NodeMiddleware::NodeMiddleware(Simulator& sim,
+                               std::vector<phi::Device*> devices,
+                               MiddlewareConfig config)
+    : sim_(sim), config_(config) {
+  PHISCHED_REQUIRE(!devices.empty(), "NodeMiddleware: need at least one device");
+  devices_.reserve(devices.size());
+  for (phi::Device* d : devices) {
+    PHISCHED_REQUIRE(d != nullptr, "NodeMiddleware: null device");
+    DeviceState ds;
+    ds.device = d;
+    devices_.push_back(std::move(ds));
+  }
+}
+
+phi::Device& NodeMiddleware::device(DeviceId d) {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  return *devices_[static_cast<std::size_t>(d)].device;
+}
+
+MiB NodeMiddleware::unreserved_memory(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  const auto& ds = devices_[static_cast<std::size_t>(d)];
+  return ds.device->usable_memory() - ds.reserved_mem;
+}
+
+ThreadCount NodeMiddleware::unreserved_threads(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  const auto& ds = devices_[static_cast<std::size_t>(d)];
+  return ds.device->config().hw.hw_threads() - ds.reserved_threads;
+}
+
+std::optional<DeviceId> NodeMiddleware::pick_device(MiB declared) const {
+  std::optional<DeviceId> best;
+  MiB best_free = -1;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const MiB free = unreserved_memory(static_cast<DeviceId>(i));
+    if (free >= declared && free > best_free) {
+      best = static_cast<DeviceId>(i);
+      best_free = free;
+    }
+  }
+  return best;
+}
+
+std::vector<DeviceId> NodeMiddleware::pick_gang(int gang_size,
+                                                MiB declared_per_device) const {
+  PHISCHED_REQUIRE(gang_size >= 1, "pick_gang: gang size must be positive");
+  if (static_cast<std::size_t>(gang_size) > devices_.size()) return {};
+  std::vector<DeviceId> order(devices_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](DeviceId a, DeviceId b) {
+    return unreserved_memory(a) > unreserved_memory(b);
+  });
+  std::vector<DeviceId> gang;
+  for (DeviceId d : order) {
+    if (unreserved_memory(d) < declared_per_device) break;  // sorted: done
+    gang.push_back(d);
+    if (gang.size() == static_cast<std::size_t>(gang_size)) return gang;
+  }
+  return {};
+}
+
+bool NodeMiddleware::launch_job(JobId job, DeviceId d, MiB declared_mem,
+                                ThreadCount declared_threads, MiB base_memory,
+                                KillCallback on_kill) {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "launch_job: bad device id");
+  PHISCHED_REQUIRE(jobs_.find(job) == jobs_.end(),
+                   "launch_job: job already launched");
+  PHISCHED_REQUIRE(declared_mem > 0, "launch_job: declared memory must be > 0");
+  if (declared_mem > unreserved_memory(d)) {
+    return false;  // would oversubscribe declared memory — refuse
+  }
+
+  Reservation res;
+  res.devices = {d};
+  res.declared_mem = declared_mem;
+  res.declared_threads = declared_threads;
+  res.on_kill = std::move(on_kill);
+  jobs_.emplace(job, std::move(res));
+
+  auto& ds = devices_[static_cast<std::size_t>(d)];
+  ds.reserved_mem += declared_mem;
+  ds.reserved_threads += declared_threads;
+  ds.device->attach_process(
+      job, base_memory,
+      [this](JobId j, phi::KillReason reason) { on_device_kill(j, reason); });
+  ds.device->set_resident_thread_load(ds.reserved_threads);
+  return true;
+}
+
+bool NodeMiddleware::try_admit(WaitingJob& w) {
+  std::vector<DeviceId> gang;
+  if (!w.pinned.empty()) {
+    PHISCHED_REQUIRE(
+        w.pinned.size() == static_cast<std::size_t>(w.gang_size),
+        "try_admit: pinned gang size mismatch");
+    for (DeviceId d : w.pinned) {
+      if (unreserved_memory(d) < w.declared_mem) return false;
+    }
+    gang = w.pinned;
+  } else {
+    gang = pick_gang(w.gang_size, w.declared_mem);
+    if (gang.empty()) return false;
+  }
+
+  Reservation res;
+  res.devices = gang;
+  res.declared_mem = w.declared_mem;
+  res.declared_threads = w.declared_threads;
+  res.on_kill = std::move(w.on_kill);
+  jobs_.emplace(w.job, std::move(res));
+
+  for (DeviceId d : gang) {
+    auto& ds = devices_[static_cast<std::size_t>(d)];
+    ds.reserved_mem += w.declared_mem;
+    ds.reserved_threads += w.declared_threads;
+    ds.device->attach_process(
+        w.job, w.base_memory,
+        [this](JobId j, phi::KillReason reason) { on_device_kill(j, reason); });
+    ds.device->set_resident_thread_load(ds.reserved_threads);
+  }
+
+  stats_.jobs_admitted += 1;
+  if (w.on_admitted) w.on_admitted();
+  return true;
+}
+
+void NodeMiddleware::submit_job(JobId job, std::vector<DeviceId> pinned,
+                                int gang_size, MiB declared_mem_per_device,
+                                ThreadCount declared_threads, MiB base_memory,
+                                KillCallback on_kill,
+                                std::function<void()> on_admitted) {
+  PHISCHED_REQUIRE(gang_size >= 1, "submit_job: gang size must be positive");
+  PHISCHED_REQUIRE(static_cast<std::size_t>(gang_size) <= devices_.size(),
+                   "submit_job: gang larger than the node's device count");
+  PHISCHED_REQUIRE(declared_mem_per_device > 0,
+                   "submit_job: declared memory must be > 0");
+  PHISCHED_REQUIRE(jobs_.find(job) == jobs_.end(),
+                   "submit_job: job already resident");
+  WaitingJob w;
+  w.job = job;
+  w.pinned = std::move(pinned);
+  w.gang_size = gang_size;
+  w.declared_mem = declared_mem_per_device;
+  w.declared_threads = declared_threads;
+  w.base_memory = base_memory;
+  w.on_kill = std::move(on_kill);
+  w.on_admitted = std::move(on_admitted);
+  const bool must_queue = config_.job_admission == DrainPolicy::kFifoStrict &&
+                          !job_queue_.empty();
+  if (must_queue || !try_admit(w)) {
+    stats_.jobs_parked += 1;
+    job_queue_.push_back(std::move(w));
+  }
+}
+
+void NodeMiddleware::submit_job(JobId job, std::optional<DeviceId> pinned,
+                                MiB declared_mem, ThreadCount declared_threads,
+                                MiB base_memory, KillCallback on_kill,
+                                std::function<void()> on_admitted) {
+  std::vector<DeviceId> gang;
+  if (pinned.has_value()) gang.push_back(*pinned);
+  submit_job(job, std::move(gang), 1, declared_mem, declared_threads,
+             base_memory, std::move(on_kill), std::move(on_admitted));
+}
+
+void NodeMiddleware::admit_waiting() {
+  // try_admit runs user callbacks that may kill jobs and re-enter this
+  // function (kill → capacity freed → admit); defer the re-entrant pass
+  // so the queue is never mutated underneath an active scan.
+  if (admitting_) {
+    admit_again_ = true;
+    return;
+  }
+  admitting_ = true;
+  do {
+    admit_again_ = false;
+    if (config_.job_admission == DrainPolicy::kFifoStrict) {
+      while (!job_queue_.empty() && try_admit(job_queue_.front())) {
+        job_queue_.pop_front();
+      }
+    } else {
+      // kFifoSkip: a big waiting job does not block smaller ones behind it.
+      for (auto it = job_queue_.begin(); it != job_queue_.end();) {
+        if (try_admit(*it)) {
+          it = job_queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  } while (admit_again_);
+  admitting_ = false;
+}
+
+bool NodeMiddleware::fits_now(const DeviceState& ds, ThreadCount threads) const {
+  if (!config_.serialize_offloads) return true;
+  return ds.device->active_thread_demand() + threads <=
+         ds.device->config().hw.hw_threads();
+}
+
+bool NodeMiddleware::container_violation(JobId job, const Reservation& res,
+                                         MiB extra, int device_index) {
+  if (!config_.enforce_containers) return false;
+  const DeviceId d = res.devices[static_cast<std::size_t>(device_index)];
+  auto& ds = devices_[static_cast<std::size_t>(d)];
+  const MiB prospective = ds.device->process_memory(job) + extra;
+  if (prospective <= res.declared_mem) return false;
+  PHISCHED_WARN() << "COSMIC container kill: job " << job << " would use "
+                  << prospective << " MiB, declared " << res.declared_mem;
+  stats_.container_kills += 1;
+  ds.device->kill_process(job, phi::KillReason::kContainerLimit);
+  return true;
+}
+
+void NodeMiddleware::request_offload(JobId job, ThreadCount threads,
+                                     MiB memory, SimTime duration,
+                                     OffloadCallback on_complete,
+                                     std::function<void()> on_start,
+                                     int device_index) {
+  auto it = jobs_.find(job);
+  PHISCHED_REQUIRE(it != jobs_.end(), "request_offload: unknown job");
+  PHISCHED_REQUIRE(
+      device_index >= 0 &&
+          static_cast<std::size_t>(device_index) < it->second.devices.size(),
+      "request_offload: device index outside the job's gang");
+
+  // Optional PCIe staging: the working set crosses the node's shared bus
+  // (strictly serialized) before the offload can be considered for
+  // device admission.
+  if (config_.pcie_bandwidth_mib_s > 0.0 && memory > 0) {
+    const SimTime transfer =
+        static_cast<double>(memory) / config_.pcie_bandwidth_mib_s;
+    const SimTime start = std::max(sim_.now(), pcie_free_at_);
+    pcie_free_at_ = start + transfer;
+    stats_.pcie_transfer_time_s += transfer;
+    sim_.schedule_at(
+        pcie_free_at_,
+        [this, job, threads, memory, duration, device_index,
+         on_complete = std::move(on_complete),
+         on_start = std::move(on_start)]() mutable {
+          // The job may have been killed while its transfer was queued.
+          if (jobs_.find(job) == jobs_.end()) return;
+          admit_offload(job, threads, memory, duration,
+                        std::move(on_complete), std::move(on_start),
+                        device_index);
+        });
+    return;
+  }
+  admit_offload(job, threads, memory, duration, std::move(on_complete),
+                std::move(on_start), device_index);
+}
+
+void NodeMiddleware::admit_offload(JobId job, ThreadCount threads, MiB memory,
+                                   SimTime duration,
+                                   OffloadCallback on_complete,
+                                   std::function<void()> on_start,
+                                   int device_index) {
+  auto it = jobs_.find(job);
+  PHISCHED_CHECK(it != jobs_.end(), "admit_offload: unknown job");
+  const Reservation& res = it->second;
+
+  if (container_violation(job, res, memory, device_index)) return;
+
+  const DeviceId d = res.devices[static_cast<std::size_t>(device_index)];
+  PendingOffload pending;
+  pending.job = job;
+  pending.threads = threads;
+  pending.memory = memory;
+  pending.duration = duration;
+  pending.on_complete = std::move(on_complete);
+  pending.on_start = std::move(on_start);
+
+  auto& ds = devices_[static_cast<std::size_t>(d)];
+  // Under strict FIFO, a non-empty queue means this offload must line up
+  // behind it even if it would fit right now.
+  const bool must_queue =
+      config_.drain == DrainPolicy::kFifoStrict && !ds.queue.empty();
+  if (!must_queue && fits_now(ds, threads)) {
+    start_now(d, std::move(pending), /*was_queued=*/false);
+  } else {
+    stats_.offloads_queued += 1;
+    ds.queue.push_back(std::move(pending));
+  }
+}
+
+void NodeMiddleware::start_now(DeviceId d, PendingOffload pending,
+                               bool was_queued) {
+  auto& ds = devices_[static_cast<std::size_t>(d)];
+  stats_.offloads_admitted += 1;
+  const SimTime duration =
+      pending.duration +
+      (was_queued ? config_.queued_resume_overhead_s : 0.0);
+  if (pending.on_start) pending.on_start();
+  auto on_complete = std::move(pending.on_complete);
+  ds.device->start_offload(
+      pending.job, pending.threads, pending.memory, duration,
+      [this, d, cb = std::move(on_complete)]() {
+        // Freeing threads may let queued offloads run; admit them before
+        // the job continues so queue order stays FIFO-biased.
+        drain_queue(d);
+        if (cb) cb();
+      });
+}
+
+void NodeMiddleware::drain_queue(DeviceId d) {
+  auto& ds = devices_[static_cast<std::size_t>(d)];
+  if (config_.drain == DrainPolicy::kFifoStrict) {
+    while (!ds.queue.empty() && fits_now(ds, ds.queue.front().threads)) {
+      PendingOffload pending = std::move(ds.queue.front());
+      ds.queue.pop_front();
+      start_now(d, std::move(pending), /*was_queued=*/true);
+    }
+    return;
+  }
+  // kFifoSkip: first-fit scan in FIFO order — later offloads may overtake
+  // a wide head that does not fit yet.
+  for (auto it = ds.queue.begin(); it != ds.queue.end();) {
+    if (fits_now(ds, it->threads)) {
+      PendingOffload pending = std::move(*it);
+      it = ds.queue.erase(it);
+      start_now(d, std::move(pending), /*was_queued=*/true);
+      // start_now may recurse into drain_queue; restart the scan.
+      it = ds.queue.begin();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NodeMiddleware::release_reservation(JobId job, const Reservation& res) {
+  for (DeviceId d : res.devices) {
+    auto& ds = devices_[static_cast<std::size_t>(d)];
+    ds.queue.erase(std::remove_if(ds.queue.begin(), ds.queue.end(),
+                                  [job](const PendingOffload& p) {
+                                    return p.job == job;
+                                  }),
+                   ds.queue.end());
+    ds.reserved_mem -= res.declared_mem;
+    ds.reserved_threads -= res.declared_threads;
+    PHISCHED_CHECK(ds.reserved_mem >= 0, "reservation ledger underflow");
+    ds.device->set_resident_thread_load(ds.reserved_threads);
+  }
+}
+
+void NodeMiddleware::finish_job(JobId job) {
+  auto it = jobs_.find(job);
+  PHISCHED_REQUIRE(it != jobs_.end(), "finish_job: unknown job");
+  const Reservation res = std::move(it->second);
+  jobs_.erase(it);
+  for (DeviceId d : res.devices) {
+    devices_[static_cast<std::size_t>(d)].device->detach_process(job);
+  }
+  release_reservation(job, res);
+  for (DeviceId d : res.devices) drain_queue(d);
+  admit_waiting();
+}
+
+bool NodeMiddleware::job_known(JobId job) const {
+  return jobs_.find(job) != jobs_.end();
+}
+
+std::size_t NodeMiddleware::jobs_on_device(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  std::size_t n = 0;
+  for (const auto& [_, res] : jobs_) {
+    if (std::find(res.devices.begin(), res.devices.end(), d) !=
+        res.devices.end()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<DeviceId> NodeMiddleware::gang_of(JobId job) const {
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? std::vector<DeviceId>{} : it->second.devices;
+}
+
+std::size_t NodeMiddleware::queued_offloads(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  return devices_[static_cast<std::size_t>(d)].queue.size();
+}
+
+void NodeMiddleware::on_device_kill(JobId job, phi::KillReason reason) {
+  auto it = jobs_.find(job);
+  PHISCHED_CHECK(it != jobs_.end(), "device killed a job COSMIC doesn't know");
+  const Reservation res = std::move(it->second);
+  jobs_.erase(it);
+
+  // The reporting device already removed its process; silently tear down
+  // the job's processes on sibling gang members.
+  for (DeviceId d : res.devices) {
+    auto& ds = devices_[static_cast<std::size_t>(d)];
+    if (ds.device->has_process(job)) {
+      ds.device->kill_process(job, reason, /*invoke_callback=*/false);
+    }
+  }
+  release_reservation(job, res);
+  for (DeviceId d : res.devices) drain_queue(d);
+  admit_waiting();
+  if (res.on_kill) res.on_kill(job, reason);
+}
+
+}  // namespace phisched::cosmic

@@ -1,0 +1,112 @@
+#include "knapsack/bnb.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::knapsack {
+
+namespace {
+
+struct Ctx {
+  const Problem* problem = nullptr;
+  std::vector<std::size_t> order;  // items sorted by value density
+  std::vector<MiB> weights;        // quantized, in `order` order
+  std::vector<double> values;
+  std::vector<ThreadCount> threads;
+  std::vector<bool> chosen;
+  std::vector<bool> best_chosen;
+  double best_value = 0.0;
+  std::size_t nodes = 0;
+  std::size_t node_budget = 0;
+};
+
+/// Fractional upper bound on the remaining items (memory dimension only).
+double fractional_bound(const Ctx& ctx, std::size_t depth, MiB mem_left) {
+  double bound = 0.0;
+  for (std::size_t i = depth; i < ctx.order.size() && mem_left > 0; ++i) {
+    if (ctx.weights[i] <= mem_left) {
+      bound += ctx.values[i];
+      mem_left -= ctx.weights[i];
+    } else {
+      bound += ctx.values[i] * static_cast<double>(mem_left) /
+               static_cast<double>(ctx.weights[i]);
+      mem_left = 0;
+    }
+  }
+  return bound;
+}
+
+void dfs(Ctx& ctx, std::size_t depth, double value, MiB mem_left,
+         ThreadCount threads_left) {
+  PHISCHED_CHECK(++ctx.nodes <= ctx.node_budget,
+                 "branch-and-bound exceeded its node budget");
+  if (value > ctx.best_value) {
+    ctx.best_value = value;
+    ctx.best_chosen = ctx.chosen;
+  }
+  if (depth >= ctx.order.size()) return;
+  if (value + fractional_bound(ctx, depth, mem_left) <= ctx.best_value) {
+    return;  // cannot beat the incumbent
+  }
+
+  // Take branch first (density order makes it likely good).
+  if (ctx.weights[depth] <= mem_left && ctx.threads[depth] <= threads_left) {
+    ctx.chosen[depth] = true;
+    dfs(ctx, depth + 1, value + ctx.values[depth],
+        mem_left - ctx.weights[depth], threads_left - ctx.threads[depth]);
+    ctx.chosen[depth] = false;
+  }
+  dfs(ctx, depth + 1, value, mem_left, threads_left);
+}
+
+}  // namespace
+
+Solution BranchAndBoundSolver::solve(const Problem& problem) const {
+  PHISCHED_REQUIRE(problem.capacity_mib >= 0, "bnb: negative capacity");
+  const std::size_t n = problem.items.size();
+  if (n == 0) return {};
+
+  Ctx ctx;
+  ctx.problem = &problem;
+  ctx.node_budget = node_budget_;
+  ctx.order.resize(n);
+  std::iota(ctx.order.begin(), ctx.order.end(), std::size_t{0});
+  std::stable_sort(ctx.order.begin(), ctx.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const auto da = problem.items[a].value /
+                                     static_cast<double>(problem.items[a].weight_mib);
+                     const auto db = problem.items[b].value /
+                                     static_cast<double>(problem.items[b].weight_mib);
+                     return da > db;
+                   });
+  ctx.weights.resize(n);
+  ctx.values.resize(n);
+  ctx.threads.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Item& item = problem.items[ctx.order[i]];
+    PHISCHED_REQUIRE(item.weight_mib > 0, "bnb: zero-weight item");
+    ctx.weights[i] = quantize_up(item.weight_mib, problem.quantum_mib);
+    ctx.values[i] = item.value;
+    ctx.threads[i] = item.threads;
+  }
+  ctx.chosen.assign(n, false);
+  ctx.best_chosen.assign(n, false);
+
+  dfs(ctx, 0, 0.0,
+      quantize_down(problem.capacity_mib, problem.quantum_mib),
+      problem.thread_capacity);
+
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ctx.best_chosen[i]) picks.push_back(ctx.order[i]);
+  }
+  Solution s = materialize(problem, std::move(picks));
+  PHISCHED_CHECK(feasible(problem, s), "bnb produced an infeasible solution");
+  return s;
+}
+
+}  // namespace phisched::knapsack

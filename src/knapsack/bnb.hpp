@@ -1,0 +1,29 @@
+// Exact branch-and-bound 0-1 knapsack with both memory and thread
+// constraints.
+//
+// Depth-first search over take/skip decisions in value-density order, with
+// a fractional-relaxation upper bound (on the memory dimension only, which
+// remains admissible when the thread constraint is added). Exponential in
+// the worst case — this is the testing reference for the DP solvers, not a
+// production scheduler component.
+#pragma once
+
+#include "knapsack/solver.hpp"
+
+namespace phisched::knapsack {
+
+class BranchAndBoundSolver final : public Solver {
+ public:
+  /// `node_budget` caps search nodes as a runaway guard; the solver throws
+  /// InternalError when exceeded (tests size instances so it never is).
+  explicit BranchAndBoundSolver(std::size_t node_budget = 50'000'000)
+      : node_budget_(node_budget) {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "bnb"; }
+
+ private:
+  std::size_t node_budget_;
+};
+
+}  // namespace phisched::knapsack

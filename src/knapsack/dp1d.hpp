@@ -1,0 +1,27 @@
+// Paper-faithful 0-1 knapsack: 1-D dynamic program over quantized memory.
+//
+// Section IV-C: memory is the knapsack weight (quantized to 50 MiB, so
+// w = 8 GiB / 50 MiB = 160 buckets) and the DP is the classic V(i, m) =
+// max(V(i-1, m), V(i-1, m - m_i) + v_i), complexity O(n·w). The thread
+// limit is folded into the value: "if the total number of threads exceeds
+// the coprocessor's hardware limit, we make the knapsack value zero" —
+// i.e., a take-transition that would push the accumulated thread count of
+// that DP cell beyond the budget contributes zero value and therefore
+// loses to any feasible alternative. This is a heuristic (thread totals
+// are not part of the DP state), so the result can be value-suboptimal,
+// but the reconstructed set is always feasible in both dimensions: zero-
+// valued (infeasible) cells are never reconstructed because the skip
+// branch dominates them.
+#pragma once
+
+#include "knapsack/solver.hpp"
+
+namespace phisched::knapsack {
+
+class Dp1DSolver final : public Solver {
+ public:
+  [[nodiscard]] Solution solve(const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "dp1d"; }
+};
+
+}  // namespace phisched::knapsack

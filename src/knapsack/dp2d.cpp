@@ -1,0 +1,73 @@
+#include "knapsack/dp2d.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::knapsack {
+
+Solution Dp2DSolver::solve(const Problem& problem) const {
+  PHISCHED_REQUIRE(problem.capacity_mib >= 0, "dp2d: negative capacity");
+  PHISCHED_REQUIRE(problem.quantum_mib > 0, "dp2d: quantum must be positive");
+  PHISCHED_REQUIRE(problem.thread_capacity >= 0, "dp2d: negative thread cap");
+
+  const std::size_t n = problem.items.size();
+  const auto w = static_cast<std::size_t>(
+      bucket_count(problem.capacity_mib, problem.quantum_mib));
+  const auto tcap = static_cast<std::size_t>(problem.thread_capacity);
+  if (n == 0 || w == 0 || tcap == 0) return {};
+
+  std::vector<std::size_t> wb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PHISCHED_REQUIRE(problem.items[i].weight_mib > 0, "dp2d: zero-weight item");
+    PHISCHED_REQUIRE(problem.items[i].threads > 0, "dp2d: zero-thread item");
+    wb[i] = static_cast<std::size_t>(
+        quantize_up(problem.items[i].weight_mib, problem.quantum_mib) /
+        problem.quantum_mib);
+  }
+
+  const std::size_t cols = (w + 1) * (tcap + 1);
+  auto at = [&](std::size_t m, std::size_t t) { return m * (tcap + 1) + t; };
+
+  std::vector<double> prev(cols, 0.0);
+  std::vector<double> curr(cols, 0.0);
+  std::vector<bool> took(n * cols, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Item& item = problem.items[i];
+    const auto ti = static_cast<std::size_t>(item.threads);
+    for (std::size_t m = 0; m <= w; ++m) {
+      for (std::size_t t = 0; t <= tcap; ++t) {
+        double best = prev[at(m, t)];
+        bool take = false;
+        if (wb[i] <= m && ti <= t) {
+          const double cand = prev[at(m - wb[i], t - ti)] + item.value;
+          if (cand > best) {
+            best = cand;
+            take = true;
+          }
+        }
+        curr[at(m, t)] = best;
+        took[i * cols + at(m, t)] = take;
+      }
+    }
+    std::swap(prev, curr);
+  }
+
+  std::vector<std::size_t> picks;
+  std::size_t m = w;
+  std::size_t t = tcap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (took[i * cols + at(m, t)]) {
+      picks.push_back(i);
+      m -= wb[i];
+      t -= static_cast<std::size_t>(problem.items[i].threads);
+    }
+  }
+  Solution s = materialize(problem, std::move(picks));
+  PHISCHED_CHECK(feasible(problem, s), "dp2d produced an infeasible solution");
+  return s;
+}
+
+}  // namespace phisched::knapsack

@@ -1,0 +1,22 @@
+// Exact 0-1 knapsack over BOTH resource dimensions: a 2-D dynamic program
+// on (memory bucket, thread) states.
+//
+// Unlike the paper's 1-D formulation (dp1d.hpp), which folds the thread
+// limit into the value as a heuristic, this solver carries the thread
+// budget in the DP state and is exact for the doubly-constrained packing
+// problem. Complexity O(n · w · T); used by tests as ground truth on small
+// instances and by the ablation bench to quantify how much the paper's
+// heuristic gives up.
+#pragma once
+
+#include "knapsack/solver.hpp"
+
+namespace phisched::knapsack {
+
+class Dp2DSolver final : public Solver {
+ public:
+  [[nodiscard]] Solution solve(const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "dp2d"; }
+};
+
+}  // namespace phisched::knapsack

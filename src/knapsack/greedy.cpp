@@ -1,0 +1,43 @@
+#include "knapsack/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::knapsack {
+
+Solution GreedyDensitySolver::solve(const Problem& problem) const {
+  PHISCHED_REQUIRE(problem.capacity_mib >= 0, "greedy: negative capacity");
+  const std::size_t n = problem.items.size();
+  if (n == 0) return {};
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Item& ia = problem.items[a];
+    const Item& ib = problem.items[b];
+    return ia.value * static_cast<double>(ib.weight_mib) >
+           ib.value * static_cast<double>(ia.weight_mib);
+  });
+
+  std::vector<std::size_t> picks;
+  MiB mem_left = quantize_down(problem.capacity_mib, problem.quantum_mib);
+  ThreadCount threads_left = problem.thread_capacity;
+  for (std::size_t i : order) {
+    const Item& item = problem.items[i];
+    PHISCHED_REQUIRE(item.weight_mib > 0, "greedy: zero-weight item");
+    const MiB w = quantize_up(item.weight_mib, problem.quantum_mib);
+    if (w <= mem_left && item.threads <= threads_left) {
+      picks.push_back(i);
+      mem_left -= w;
+      threads_left -= item.threads;
+    }
+  }
+  Solution s = materialize(problem, std::move(picks));
+  PHISCHED_CHECK(feasible(problem, s), "greedy produced an infeasible solution");
+  return s;
+}
+
+}  // namespace phisched::knapsack

@@ -1,0 +1,20 @@
+// Greedy density heuristic: take items in decreasing value/weight order
+// while both the memory and thread budgets allow.
+//
+// The classic O(n log n) knapsack approximation — no optimality guarantee
+// (its worst case is arbitrarily bad without the half-item trick), but a
+// useful ablation point: how much does the paper's DP actually buy over
+// the cheapest possible packer?
+#pragma once
+
+#include "knapsack/solver.hpp"
+
+namespace phisched::knapsack {
+
+class GreedyDensitySolver final : public Solver {
+ public:
+  [[nodiscard]] Solution solve(const Problem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+};
+
+}  // namespace phisched::knapsack

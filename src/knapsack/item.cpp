@@ -1,0 +1,35 @@
+#include "knapsack/item.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::knapsack {
+
+Solution materialize(const Problem& problem, std::vector<std::size_t> picks) {
+  std::sort(picks.begin(), picks.end());
+  Solution s;
+  s.picks = std::move(picks);
+  for (std::size_t i : s.picks) {
+    PHISCHED_REQUIRE(i < problem.items.size(), "materialize: pick out of range");
+    const Item& item = problem.items[i];
+    s.value += item.value;
+    s.weight_mib += quantize_up(item.weight_mib, problem.quantum_mib);
+    s.threads += item.threads;
+  }
+  return s;
+}
+
+bool feasible(const Problem& problem, const Solution& solution) {
+  MiB weight = 0;
+  ThreadCount threads = 0;
+  for (std::size_t i : solution.picks) {
+    if (i >= problem.items.size()) return false;
+    weight += quantize_up(problem.items[i].weight_mib, problem.quantum_mib);
+    threads += problem.items[i].threads;
+  }
+  return weight <= problem.capacity_mib && threads <= problem.thread_capacity;
+}
+
+}  // namespace phisched::knapsack

@@ -1,0 +1,34 @@
+#include "knapsack/solver.hpp"
+
+#include "common/error.hpp"
+#include "knapsack/bnb.hpp"
+#include "knapsack/dp1d.hpp"
+#include "knapsack/dp2d.hpp"
+#include "knapsack/greedy.hpp"
+
+namespace phisched::knapsack {
+
+const char* solver_kind_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDp1D: return "dp1d";
+    case SolverKind::kDp2D: return "dp2d";
+    case SolverKind::kBranchAndBound: return "bnb";
+    case SolverKind::kGreedyDensity: return "greedy";
+  }
+  return "?";
+}
+
+std::unique_ptr<Solver> make_solver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDp1D: return std::make_unique<Dp1DSolver>();
+    case SolverKind::kDp2D: return std::make_unique<Dp2DSolver>();
+    case SolverKind::kBranchAndBound:
+      return std::make_unique<BranchAndBoundSolver>();
+    case SolverKind::kGreedyDensity:
+      return std::make_unique<GreedyDensitySolver>();
+  }
+  PHISCHED_REQUIRE(false, "unknown solver kind");
+  return nullptr;
+}
+
+}  // namespace phisched::knapsack

@@ -1,0 +1,34 @@
+#include "knapsack/value.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phisched::knapsack {
+
+const char* value_function_name(ValueFunction f) {
+  switch (f) {
+    case ValueFunction::kPaperQuadratic: return "paper-quadratic";
+    case ValueFunction::kLinearThreads: return "linear";
+    case ValueFunction::kUnit: return "unit";
+    case ValueFunction::kInverseThreads: return "inverse";
+  }
+  return "?";
+}
+
+double job_value(ValueFunction f, ThreadCount threads, ThreadCount hw_threads) {
+  PHISCHED_REQUIRE(threads > 0, "job_value: threads must be positive");
+  PHISCHED_REQUIRE(hw_threads > 0, "job_value: hw_threads must be positive");
+  const double ratio =
+      static_cast<double>(threads) / static_cast<double>(hw_threads);
+  double v = 0.0;
+  switch (f) {
+    case ValueFunction::kPaperQuadratic: v = 1.0 - ratio * ratio; break;
+    case ValueFunction::kLinearThreads: v = 1.0 - ratio; break;
+    case ValueFunction::kUnit: v = 1.0; break;
+    case ValueFunction::kInverseThreads: v = 1.0 / ratio; break;
+  }
+  return std::max(v, kValueFloor);
+}
+
+}  // namespace phisched::knapsack

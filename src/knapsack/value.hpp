@@ -1,0 +1,31 @@
+// Job value functions for the knapsack formulation.
+//
+// The paper (Eq. 1) sets v_i = 1 - (t_i / 240)^2 so that value decreases
+// with thread demand: maximizing knapsack value then packs as many
+// low-thread jobs as possible, maximizing concurrency. Alternative value
+// functions are provided for the ablation benchmarks.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace phisched::knapsack {
+
+enum class ValueFunction {
+  kPaperQuadratic,  ///< 1 - (t/T)^2 — the paper's Eq. 1
+  kLinearThreads,   ///< 1 - t/T
+  kUnit,            ///< 1 per job (pure cardinality packing)
+  kInverseThreads,  ///< T / t (strongly favours narrow jobs)
+};
+
+[[nodiscard]] const char* value_function_name(ValueFunction f);
+
+/// Value of a job requesting `threads` on a device with `hw_threads`
+/// hardware threads. A small positive floor keeps full-width jobs (whose
+/// paper value is exactly 0) packable when nothing better fits.
+[[nodiscard]] double job_value(ValueFunction f, ThreadCount threads,
+                               ThreadCount hw_threads);
+
+/// The floor applied by job_value.
+inline constexpr double kValueFloor = 1e-3;
+
+}  // namespace phisched::knapsack

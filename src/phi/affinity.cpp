@@ -1,0 +1,112 @@
+#include "phi/affinity.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace phisched::phi {
+
+CoreMap::CoreMap(CoreCount cores, int threads_per_core, Rng rng)
+    : threads_per_core_(threads_per_core),
+      load_(static_cast<std::size_t>(cores), 0),
+      owners_(static_cast<std::size_t>(cores), 0),
+      rng_(rng) {
+  PHISCHED_REQUIRE(cores > 0, "CoreMap: need at least one core");
+  PHISCHED_REQUIRE(threads_per_core > 0, "CoreMap: need at least one context");
+}
+
+void CoreMap::place(Allocation& a, CoreCount core, int count) {
+  auto c = static_cast<std::size_t>(core);
+  if (load_[c] == 0 || owners_[c] >= 0) {
+    // owners_ counts distinct allocations touching the core.
+  }
+  a.core.push_back(core);
+  a.count.push_back(count);
+  load_[c] += count;
+  owners_[c] += 1;
+  placed_ += count;
+}
+
+AllocationId CoreMap::allocate(ThreadCount threads, AffinityPolicy policy) {
+  PHISCHED_REQUIRE(threads > 0, "CoreMap: allocate needs threads > 0");
+  Allocation a;
+  a.id = next_id_++;
+
+  if (policy == AffinityPolicy::kManagedCompact) {
+    // Least-loaded cores first; ties broken by core index for determinism.
+    std::vector<CoreCount> order(load_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](CoreCount x, CoreCount y) {
+      return load_[static_cast<std::size_t>(x)] <
+             load_[static_cast<std::size_t>(y)];
+    });
+    ThreadCount left = threads;
+    for (CoreCount core : order) {
+      if (left <= 0) break;
+      const int take = std::min<int>(threads_per_core_, left);
+      place(a, core, take);
+      left -= take;
+    }
+    // Residual beyond total capacity wraps around, oversubscribing cores.
+    while (left > 0) {
+      for (CoreCount core = 0; core < cores() && left > 0; ++core) {
+        const int take = std::min<int>(threads_per_core_, left);
+        place(a, core, take);
+        left -= take;
+      }
+    }
+  } else {
+    // Scatter: the MPSS/OpenMP default affinity spreads threads one per
+    // core before doubling up, so a 60-thread offload occupies 60 cores
+    // and a 180-thread offload puts 3 threads on each of 60 cores. The
+    // core set is chosen obliviously of existing load, so two unmanaged
+    // offloads collide on cores while others may idle — the conflicting-
+    // affinity loss COSMIC's compact affinitizer eliminates.
+    const auto n_cores =
+        static_cast<std::size_t>(std::min<ThreadCount>(threads, cores()));
+    std::vector<CoreCount> order(load_.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.shuffle(order);
+    const int base = threads / static_cast<int>(n_cores);
+    const int extra = threads % static_cast<int>(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i) {
+      place(a, order[i], base + (i < static_cast<std::size_t>(extra) ? 1 : 0));
+    }
+  }
+
+  live_.push_back(std::move(a));
+  return live_.back().id;
+}
+
+void CoreMap::release(AllocationId id) {
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [&](const Allocation& a) { return a.id == id; });
+  PHISCHED_REQUIRE(it != live_.end(), "CoreMap: unknown allocation");
+  for (std::size_t i = 0; i < it->core.size(); ++i) {
+    auto c = static_cast<std::size_t>(it->core[i]);
+    load_[c] -= it->count[i];
+    owners_[c] -= 1;
+    placed_ -= it->count[i];
+    PHISCHED_CHECK(load_[c] >= 0 && owners_[c] >= 0,
+                   "CoreMap: negative core load");
+  }
+  live_.erase(it);
+}
+
+CoreCount CoreMap::busy_cores() const {
+  return static_cast<CoreCount>(
+      std::count_if(load_.begin(), load_.end(), [](int l) { return l > 0; }));
+}
+
+CoreCount CoreMap::oversubscribed_cores() const {
+  return static_cast<CoreCount>(std::count_if(
+      load_.begin(), load_.end(), [&](int l) { return l > threads_per_core_; }));
+}
+
+bool CoreMap::has_overlap() const {
+  return std::any_of(owners_.begin(), owners_.end(),
+                     [](int o) { return o > 1; });
+}
+
+}  // namespace phisched::phi

@@ -1,0 +1,76 @@
+// Thread-to-core affinity map for a manycore coprocessor.
+//
+// The Phi exposes `cores × threads_per_core` hardware threads. COSMIC
+// affinitizes offloads compactly so that concurrent offloads occupy
+// disjoint core sets ("two jobs requiring 120 threads each run on their own
+// set of 30 cores"). Without such management, offloads land on arbitrary
+// cores and may overlap while other cores sit idle, costing performance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace phisched::phi {
+
+using AllocationId = std::uint64_t;
+
+/// Placement policies for new offload thread groups.
+enum class AffinityPolicy {
+  /// COSMIC-style: fill whole free cores first, 4 threads per core,
+  /// choosing the least-loaded cores; avoids overlap whenever possible.
+  kManagedCompact,
+  /// MPSS-default model: threads scatter over randomly chosen cores
+  /// regardless of existing load, so overlap happens even when free
+  /// cores exist.
+  kUnmanagedScatter,
+};
+
+class CoreMap {
+ public:
+  CoreMap(CoreCount cores, int threads_per_core, Rng rng);
+
+  /// Places `threads` hardware threads; returns an allocation token.
+  /// Placement never fails — oversubscribed cores simply hold more
+  /// threads than they have hardware contexts.
+  [[nodiscard]] AllocationId allocate(ThreadCount threads, AffinityPolicy policy);
+
+  void release(AllocationId id);
+
+  /// Number of cores with at least one thread placed on them.
+  [[nodiscard]] CoreCount busy_cores() const;
+
+  /// Number of cores whose placed threads exceed their hardware contexts.
+  [[nodiscard]] CoreCount oversubscribed_cores() const;
+
+  /// True if any live allocations share a core.
+  [[nodiscard]] bool has_overlap() const;
+
+  [[nodiscard]] ThreadCount placed_threads() const { return placed_; }
+  [[nodiscard]] CoreCount cores() const {
+    return static_cast<CoreCount>(load_.size());
+  }
+  [[nodiscard]] int threads_per_core() const { return threads_per_core_; }
+
+ private:
+  struct Allocation {
+    AllocationId id = 0;
+    /// Parallel vectors: core index and thread count placed on it.
+    std::vector<CoreCount> core;
+    std::vector<int> count;
+  };
+
+  void place(Allocation& a, CoreCount core, int count);
+
+  int threads_per_core_;
+  std::vector<int> load_;         // threads placed per core
+  std::vector<int> owners_;       // distinct allocations per core
+  std::vector<Allocation> live_;  // live allocations
+  ThreadCount placed_ = 0;
+  AllocationId next_id_ = 1;
+  Rng rng_;
+};
+
+}  // namespace phisched::phi

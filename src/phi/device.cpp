@@ -1,0 +1,264 @@
+#include "phi/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace phisched::phi {
+
+const char* kill_reason_name(KillReason reason) {
+  switch (reason) {
+    case KillReason::kOom: return "oom";
+    case KillReason::kContainerLimit: return "container-limit";
+    case KillReason::kAdmin: return "admin";
+  }
+  return "?";
+}
+
+Device::Device(Simulator& sim, DeviceConfig config, Rng rng, std::string name)
+    : sim_(sim),
+      config_(config),
+      name_(std::move(name)),
+      rng_(rng),
+      cores_(config.hw.cores, config.hw.threads_per_core,
+             rng.child("coremap")) {
+  PHISCHED_REQUIRE(config_.oversub_exponent >= 1.0,
+                   "Device: oversubscription exponent must be >= 1");
+  PHISCHED_REQUIRE(config_.unmanaged_overlap_penalty >= 0.0 &&
+                       config_.unmanaged_overlap_penalty < 1.0,
+                   "Device: overlap penalty must be in [0,1)");
+  busy_core_time_.reset(sim_.now(), 0.0);
+  last_settle_ = sim_.now();
+}
+
+void Device::attach_process(JobId job, MiB base_memory, KillCallback on_kill) {
+  PHISCHED_REQUIRE(base_memory >= 0, "attach_process: negative memory");
+  PHISCHED_REQUIRE(!has_process(job), "attach_process: job already resident");
+  Process p;
+  p.base_memory = base_memory;
+  p.on_kill = std::move(on_kill);
+  procs_.emplace(job, std::move(p));
+  memory_used_ += base_memory;
+  check_oom();
+}
+
+void Device::detach_process(JobId job) {
+  auto it = procs_.find(job);
+  PHISCHED_REQUIRE(it != procs_.end(), "detach_process: no such process");
+  PHISCHED_REQUIRE(it->second.running_offloads == 0,
+                   "detach_process: offloads still running");
+  memory_used_ -= it->second.base_memory + it->second.offload_memory;
+  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+  procs_.erase(it);
+}
+
+void Device::kill_process(JobId job, KillReason reason, bool invoke_callback) {
+  PHISCHED_REQUIRE(has_process(job), "kill_process: no such process");
+  do_kill(job, reason, invoke_callback);
+}
+
+bool Device::has_process(JobId job) const {
+  return procs_.find(job) != procs_.end();
+}
+
+MiB Device::process_memory(JobId job) const {
+  auto it = procs_.find(job);
+  PHISCHED_REQUIRE(it != procs_.end(), "process_memory: no such process");
+  return it->second.base_memory + it->second.offload_memory;
+}
+
+OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
+                                SimTime duration, OffloadCallback on_complete) {
+  PHISCHED_REQUIRE(threads > 0, "start_offload: threads must be positive");
+  PHISCHED_REQUIRE(memory >= 0, "start_offload: negative memory");
+  PHISCHED_REQUIRE(duration >= 0.0, "start_offload: negative duration");
+  auto pit = procs_.find(job);
+  PHISCHED_REQUIRE(pit != procs_.end(), "start_offload: job has no process");
+
+  settle();
+
+  const OffloadId id = next_offload_id_++;
+  Offload off;
+  off.id = id;
+  off.job = job;
+  off.threads = threads;
+  off.memory = memory;
+  off.remaining_work = duration;
+  off.on_complete = std::move(on_complete);
+  off.alloc = cores_.allocate(threads, config_.affinity);
+  offloads_.emplace(id, std::move(off));
+
+  pit->second.running_offloads += 1;
+  pit->second.offload_memory += memory;
+  memory_used_ += memory;
+  stats_.offloads_started += 1;
+
+  reconcile();
+  check_oom();
+  return id;
+}
+
+ThreadCount Device::active_thread_demand() const {
+  ThreadCount t = 0;
+  for (const auto& [_, off] : offloads_) t += off.threads;
+  return t;
+}
+
+double Device::core_utilization(SimTime until) const {
+  return busy_core_time_.mean_until(until) /
+         static_cast<double>(config_.hw.cores);
+}
+
+double Device::energy_joules(SimTime until) const {
+  PHISCHED_REQUIRE(until >= 0.0, "energy_joules: negative horizon");
+  const double busy_core_seconds =
+      busy_core_time_.mean_until(until) * until;
+  const double card_floor_watts =
+      config_.base_watts +
+      static_cast<double>(config_.hw.cores) * config_.idle_core_watts;
+  return card_floor_watts * until +
+         (config_.active_core_watts - config_.idle_core_watts) *
+             busy_core_seconds;
+}
+
+void Device::settle() {
+  const SimTime now = sim_.now();
+  const SimTime elapsed = now - last_settle_;
+  if (elapsed > 0.0) {
+    for (auto& [_, off] : offloads_) {
+      off.remaining_work = std::max(0.0, off.remaining_work - elapsed * speed_);
+    }
+  }
+  busy_core_time_.advance_to(now);
+  last_settle_ = now;
+}
+
+double Device::compute_speed() const {
+  const ThreadCount demand = active_thread_demand();
+  const ThreadCount limit = config_.hw.hw_threads();
+  double speed = 1.0;
+  if (demand > limit) {
+    speed = std::pow(static_cast<double>(limit) / static_cast<double>(demand),
+                     config_.oversub_exponent);
+  }
+  // Conflicting-affinity loss only exists when nothing manages placement;
+  // under managed-compact, overlap can only mean thread oversubscription,
+  // which the exponent term already prices.
+  if (config_.affinity == AffinityPolicy::kUnmanagedScatter &&
+      cores_.has_overlap()) {
+    speed *= 1.0 - config_.unmanaged_overlap_penalty;
+  }
+  if (resident_thread_load_ > limit) {
+    speed *= std::pow(static_cast<double>(limit) /
+                          static_cast<double>(resident_thread_load_),
+                      config_.idle_spin_exponent);
+  }
+  return speed;
+}
+
+void Device::set_resident_thread_load(ThreadCount declared_threads) {
+  PHISCHED_REQUIRE(declared_threads >= 0,
+                   "set_resident_thread_load: negative load");
+  if (declared_threads == resident_thread_load_) return;
+  settle();
+  resident_thread_load_ = declared_threads;
+  reconcile();
+}
+
+void Device::reconcile() {
+  speed_ = compute_speed();
+  busy_core_time_.set(sim_.now(), static_cast<double>(cores_.busy_cores()));
+  for (auto& [id, off] : offloads_) {
+    off.completion.cancel();
+    const SimTime eta = off.remaining_work / speed_;
+    const OffloadId oid = id;
+    off.completion = sim_.schedule_in(eta, [this, oid] { finish_offload(oid); });
+  }
+}
+
+void Device::finish_offload(OffloadId id) {
+  auto it = offloads_.find(id);
+  PHISCHED_CHECK(it != offloads_.end(), "finish_offload: unknown offload");
+  settle();
+  PHISCHED_CHECK(it->second.remaining_work <= 1e-6,
+                 "offload completed with work remaining");
+
+  const JobId job = it->second.job;
+  auto on_complete = std::move(it->second.on_complete);
+  cores_.release(it->second.alloc);
+  memory_used_ -= it->second.memory;
+  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+
+  auto pit = procs_.find(job);
+  PHISCHED_CHECK(pit != procs_.end(), "offload without owning process");
+  pit->second.running_offloads -= 1;
+  pit->second.offload_memory -= it->second.memory;
+
+  offloads_.erase(it);
+  stats_.offloads_completed += 1;
+  reconcile();
+
+  if (on_complete) on_complete();
+}
+
+void Device::check_oom() {
+  if (in_oom_sweep_) return;  // re-entrancy guard: kills mutate memory
+  in_oom_sweep_ = true;
+  while (memory_used_ > usable_memory() && !procs_.empty()) {
+    // Linux's OOM killer picks an effectively arbitrary victim (paper
+    // Section II-C: "randomly terminates processes").
+    auto it = procs_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng_.index(procs_.size())));
+    const JobId victim = it->first;
+    PHISCHED_WARN() << name_ << ": OOM killer terminating job " << victim
+                    << " (used " << memory_used_ << " MiB of "
+                    << usable_memory() << ")";
+    do_kill(victim, KillReason::kOom);
+  }
+  in_oom_sweep_ = false;
+}
+
+void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
+  auto pit = procs_.find(job);
+  PHISCHED_CHECK(pit != procs_.end(), "do_kill: no such process");
+
+  settle();
+
+  // Tear down the victim's offloads.
+  std::vector<OffloadId> doomed;
+  for (auto& [id, off] : offloads_) {
+    if (off.job == job) doomed.push_back(id);
+  }
+  for (OffloadId id : doomed) {
+    auto it = offloads_.find(id);
+    it->second.completion.cancel();
+    cores_.release(it->second.alloc);
+    memory_used_ -= it->second.memory;
+    pit->second.offload_memory -= it->second.memory;
+    pit->second.running_offloads -= 1;
+    offloads_.erase(it);
+  }
+  PHISCHED_CHECK(pit->second.offload_memory == 0 &&
+                     pit->second.running_offloads == 0,
+                 "kill left offload state behind");
+
+  memory_used_ -= pit->second.base_memory;
+  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+
+  auto on_kill = std::move(pit->second.on_kill);
+  procs_.erase(pit);
+
+  switch (reason) {
+    case KillReason::kOom: stats_.oom_kills += 1; break;
+    case KillReason::kContainerLimit: stats_.container_kills += 1; break;
+    case KillReason::kAdmin: stats_.admin_kills += 1; break;
+  }
+
+  reconcile();
+  if (invoke_callback && on_kill) on_kill(job, reason);
+}
+
+}  // namespace phisched::phi

@@ -1,0 +1,202 @@
+// Discrete-event model of one Xeon Phi coprocessor.
+//
+// The device tracks resident processes (one per job offloading to it, as
+// COI creates on the real card), their memory, and the set of concurrently
+// executing offload regions. It reproduces the failure semantics the paper
+// builds on (Section II-C):
+//
+//  * Thread oversubscription: when the aggregate thread demand of running
+//    offloads exceeds the hardware thread count, everything slows down
+//    super-linearly (context-switch cost on a manycore with huge vector
+//    state). With the default exponent of 3, a 2x oversubscription yields
+//    an 8x slowdown — the "as much as 800%" impact the paper cites.
+//  * Memory oversubscription: when resident memory exceeds the physical
+//    card memory, the Linux OOM killer terminates a RANDOM process.
+//  * Unmanaged affinity: without COSMIC's affinitization, offloads scatter
+//    over cores and may overlap while other cores idle, costing a
+//    configurable penalty.
+//
+// Per-core busy time is integrated continuously so that experiments can
+// report the cluster-wide core utilization of Section III.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "phi/affinity.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+
+using OffloadId = std::uint64_t;
+
+enum class KillReason {
+  kOom,             ///< device memory oversubscribed; OOM killer fired
+  kContainerLimit,  ///< COSMIC container: usage exceeded declaration
+  kAdmin,           ///< explicit kill (job removal)
+};
+
+[[nodiscard]] const char* kill_reason_name(KillReason reason);
+
+struct DeviceConfig {
+  PhiHardware hw{};
+  /// Speed factor exponent under thread oversubscription:
+  /// speed = (hw_threads / demand)^exponent for demand > hw_threads.
+  /// Exponent 1 would be ideal work-conserving sharing; 3 reproduces the
+  /// paper's ~800% penalty at 2x oversubscription.
+  double oversub_exponent = 3.0;
+  /// Multiplicative speed loss while offloads overlap on shared cores
+  /// because nothing manages affinity.
+  double unmanaged_overlap_penalty = 0.15;
+  /// Placement policy; COSMIC switches this to kManagedCompact.
+  AffinityPolicy affinity = AffinityPolicy::kUnmanagedScatter;
+  /// Power model for energy accounting (defaults approximate a KNC card:
+  /// ~225 W at full core load, ~120 W idle-but-powered).
+  double base_watts = 60.0;         ///< memory, ring, uncore
+  double idle_core_watts = 1.0;     ///< per core, clock-gated
+  double active_core_watts = 2.75;  ///< per busy core
+
+  /// Interference from RESIDENT processes' idle thread pools: the Intel
+  /// OpenMP runtime busy-spins worker threads between parallel regions
+  /// (KMP_BLOCKTIME), so when the declared threads of all co-resident
+  /// jobs exceed the hardware threads, running offloads lose cycles even
+  /// though COSMIC serializes the offloads themselves. Speed is scaled by
+  /// (hw_threads / resident_declared)^idle_spin_exponent when the
+  /// resident declared total exceeds the hardware budget.
+  double idle_spin_exponent = 0.35;
+};
+
+struct DeviceStats {
+  std::uint64_t offloads_started = 0;
+  std::uint64_t offloads_completed = 0;
+  std::uint64_t oom_kills = 0;
+  std::uint64_t container_kills = 0;
+  std::uint64_t admin_kills = 0;
+};
+
+class Device {
+ public:
+  /// Invoked when the device kills a process (OOM / container / admin).
+  /// Pending offload completions of the victim are cancelled first.
+  using KillCallback = std::function<void(JobId, KillReason)>;
+  /// Invoked when an offload region finishes executing.
+  using OffloadCallback = std::function<void()>;
+
+  Device(Simulator& sim, DeviceConfig config, Rng rng,
+         std::string name = "mic0");
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // --- process lifecycle ----------------------------------------------------
+  /// Creates the job's device-resident process with `base_memory` MiB.
+  /// May immediately trigger the OOM killer (possibly killing this very
+  /// process) if physical memory oversubscribes.
+  void attach_process(JobId job, MiB base_memory, KillCallback on_kill);
+
+  /// Removes the job's process; it must have no running offloads.
+  void detach_process(JobId job);
+
+  /// Kills a process as `reason`, cancelling its offloads and invoking its
+  /// kill callback. Pass invoke_callback=false to tear the process down
+  /// silently (e.g. removing a gang job's siblings after one member was
+  /// already killed and reported).
+  void kill_process(JobId job, KillReason reason, bool invoke_callback = true);
+
+  [[nodiscard]] bool has_process(JobId job) const;
+  [[nodiscard]] std::size_t process_count() const { return procs_.size(); }
+
+  /// Actual resident memory of one process (base + active working sets).
+  [[nodiscard]] MiB process_memory(JobId job) const;
+
+  // --- offload execution ----------------------------------------------------
+  /// Starts an offload region of `duration` seconds (at full speed) using
+  /// `threads` hardware threads and touching `memory` MiB. The job must
+  /// have an attached process. `on_complete` fires when the region
+  /// finishes; it never fires if the process is killed first.
+  OffloadId start_offload(JobId job, ThreadCount threads, MiB memory,
+                          SimTime duration, OffloadCallback on_complete);
+
+  // --- queries ----------------------------------------------------------------
+  /// Aggregate threads demanded by running offloads.
+  [[nodiscard]] ThreadCount active_thread_demand() const;
+  [[nodiscard]] std::size_t active_offloads() const { return offloads_.size(); }
+  /// Actual resident memory (bases + active working sets).
+  [[nodiscard]] MiB memory_used() const { return memory_used_; }
+  [[nodiscard]] MiB usable_memory() const { return config_.hw.usable_memory_mib(); }
+  [[nodiscard]] MiB memory_free() const { return usable_memory() - memory_used_; }
+  [[nodiscard]] CoreCount busy_cores() const { return cores_.busy_cores(); }
+  /// Current execution speed factor in (0, 1].
+  [[nodiscard]] double current_speed() const { return speed_; }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Mean fraction of cores busy over [0, until].
+  [[nodiscard]] double core_utilization(SimTime until) const;
+
+  /// Energy drawn over [0, until] in joules, per the DeviceConfig power
+  /// model: base + idle power for every core, plus the active-idle delta
+  /// integrated over busy cores.
+  [[nodiscard]] double energy_joules(SimTime until) const;
+
+  /// Declared threads of all processes resident on the device, reported
+  /// by the node middleware; drives the idle-spin interference model.
+  void set_resident_thread_load(ThreadCount declared_threads);
+  [[nodiscard]] ThreadCount resident_thread_load() const {
+    return resident_thread_load_;
+  }
+
+ private:
+  struct Offload {
+    OffloadId id = 0;
+    JobId job = 0;
+    ThreadCount threads = 0;
+    MiB memory = 0;
+    double remaining_work = 0.0;  // seconds at full speed
+    OffloadCallback on_complete;
+    EventHandle completion;
+    AllocationId alloc = 0;
+  };
+
+  struct Process {
+    MiB base_memory = 0;
+    MiB offload_memory = 0;  // sum of active working sets
+    int running_offloads = 0;
+    KillCallback on_kill;
+  };
+
+  /// Integrates remaining work and busy-core time up to now().
+  void settle();
+  /// Recomputes the speed factor and completion events after any change.
+  void reconcile();
+  [[nodiscard]] double compute_speed() const;
+  void finish_offload(OffloadId id);
+  /// Fires the OOM killer while memory is oversubscribed.
+  void check_oom();
+  /// Tears one process down and (optionally) invokes its kill callback.
+  void do_kill(JobId job, KillReason reason, bool invoke_callback = true);
+
+  Simulator& sim_;
+  DeviceConfig config_;
+  std::string name_;
+  Rng rng_;
+  CoreMap cores_;
+  std::map<JobId, Process> procs_;
+  std::map<OffloadId, Offload> offloads_;
+  MiB memory_used_ = 0;
+  ThreadCount resident_thread_load_ = 0;
+  double speed_ = 1.0;
+  SimTime last_settle_ = 0.0;
+  TimeWeighted busy_core_time_;
+  DeviceStats stats_;
+  OffloadId next_offload_id_ = 1;
+  bool in_oom_sweep_ = false;
+};
+
+}  // namespace phisched::phi

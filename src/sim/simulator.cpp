@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+void EventHandle::cancel() {
+  if (auto rec = record_.lock()) rec->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  auto rec = record_.lock();
+  return rec != nullptr && !rec->cancelled && rec->fn != nullptr;
+}
+
+bool Simulator::later(const std::shared_ptr<detail::EventRecord>& a,
+                      const std::shared_ptr<detail::EventRecord>& b) {
+  if (a->time != b->time) return a->time > b->time;
+  return a->seq > b->seq;
+}
+
+EventHandle Simulator::schedule_at(SimTime t, Callback fn) {
+  PHISCHED_REQUIRE(t >= now_, "schedule_at: cannot schedule in the past");
+  PHISCHED_REQUIRE(fn != nullptr, "schedule_at: null callback");
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->time = t;
+  rec->seq = next_seq_++;
+  rec->fn = std::move(fn);
+  heap_.push_back(rec);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return EventHandle(rec);
+}
+
+EventHandle Simulator::schedule_in(SimTime delay, Callback fn) {
+  PHISCHED_REQUIRE(delay >= 0.0, "schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::skim() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+bool Simulator::step() {
+  skim();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  auto rec = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = rec->time;
+  ++processed_;
+  auto fn = std::move(rec->fn);
+  rec->fn = nullptr;  // marks the record as fired for EventHandle::pending
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget");
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime t, std::size_t max_events) {
+  PHISCHED_REQUIRE(t >= now_, "run_until: target time in the past");
+  std::size_t n = 0;
+  for (;;) {
+    skim();
+    if (heap_.empty() || heap_.front()->time > t) break;
+    step();
+    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget");
+  }
+  now_ = t;
+  return n;
+}
+
+bool Simulator::idle() const { return pending_events() == 0; }
+
+std::size_t Simulator::pending_events() const {
+  return static_cast<std::size_t>(
+      std::count_if(heap_.begin(), heap_.end(),
+                    [](const auto& rec) { return !rec->cancelled; }));
+}
+
+}  // namespace phisched

@@ -1,0 +1,38 @@
+#include "sim/timer.hpp"
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime interval, Callback fn,
+                             SimTime phase)
+    : sim_(sim), interval_(interval), fn_(std::move(fn)) {
+  PHISCHED_REQUIRE(interval_ > 0.0, "PeriodicTimer: interval must be positive");
+  PHISCHED_REQUIRE(fn_ != nullptr, "PeriodicTimer: null callback");
+  arm(phase < 0.0 ? interval_ : phase);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  pending_.cancel();
+  running_ = false;
+}
+
+void PeriodicTimer::start() {
+  stop();
+  arm(interval_);
+}
+
+void PeriodicTimer::arm(SimTime delay) {
+  running_ = true;
+  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  // Re-arm before the callback so the callback may stop() the timer.
+  arm(interval_);
+  fn_();
+}
+
+}  // namespace phisched

@@ -1,0 +1,45 @@
+// Periodic timer built on the Simulator, used for e.g. Condor's negotiation
+// cycle and telemetry sampling.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace phisched {
+
+/// Fires a callback every `interval` seconds of simulated time until
+/// stopped or destroyed. The first firing is at `now + phase` (phase
+/// defaults to one full interval).
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTimer(Simulator& sim, SimTime interval, Callback fn,
+                SimTime phase = -1.0);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Cancels any pending firing; the timer can be restarted with start().
+  void stop();
+
+  /// (Re)arms the timer; the next firing is `interval` from now.
+  void start();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimTime interval() const { return interval_; }
+
+ private:
+  void arm(SimTime delay);
+  void fire();
+
+  Simulator& sim_;
+  SimTime interval_;
+  Callback fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace phisched

@@ -1,0 +1,85 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+std::size_t IntervalTrace::open(const std::string& lane, SimTime start,
+                                std::string label, char glyph) {
+  auto& v = lanes_[lane];
+  v.push_back(TraceInterval{start, -1.0, std::move(label), glyph});
+  return v.size() - 1;
+}
+
+void IntervalTrace::close(const std::string& lane, std::size_t token,
+                          SimTime end) {
+  auto it = lanes_.find(lane);
+  PHISCHED_REQUIRE(it != lanes_.end(), "IntervalTrace: unknown lane");
+  PHISCHED_REQUIRE(token < it->second.size(), "IntervalTrace: bad token");
+  auto& iv = it->second[token];
+  PHISCHED_REQUIRE(iv.end < 0.0, "IntervalTrace: interval already closed");
+  PHISCHED_REQUIRE(end >= iv.start, "IntervalTrace: end before start");
+  iv.end = end;
+}
+
+void IntervalTrace::record(const std::string& lane, SimTime start, SimTime end,
+                           std::string label, char glyph) {
+  PHISCHED_REQUIRE(end >= start, "IntervalTrace: end before start");
+  lanes_[lane].push_back(TraceInterval{start, end, std::move(label), glyph});
+}
+
+const std::vector<TraceInterval>& IntervalTrace::lane(
+    const std::string& name) const {
+  static const std::vector<TraceInterval> kEmpty;
+  auto it = lanes_.find(name);
+  return it == lanes_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> IntervalTrace::lanes() const {
+  std::vector<std::string> out;
+  out.reserve(lanes_.size());
+  for (const auto& [name, _] : lanes_) out.push_back(name);
+  return out;
+}
+
+SimTime IntervalTrace::horizon() const {
+  SimTime h = 0.0;
+  for (const auto& [_, v] : lanes_) {
+    for (const auto& iv : v) h = std::max(h, std::max(iv.start, iv.end));
+  }
+  return h;
+}
+
+std::string IntervalTrace::ascii(std::size_t width) const {
+  const SimTime h = horizon();
+  std::size_t name_w = 0;
+  for (const auto& [name, _] : lanes_) name_w = std::max(name_w, name.size());
+
+  std::ostringstream os;
+  for (const auto& [name, v] : lanes_) {
+    std::string row(width, '.');
+    for (const auto& iv : v) {
+      if (iv.end < 0.0 || h <= 0.0) continue;
+      auto col = [&](SimTime t) {
+        return static_cast<std::size_t>(std::min<double>(
+            static_cast<double>(width) - 1.0,
+            std::floor(t / h * static_cast<double>(width))));
+      };
+      const std::size_t a = col(iv.start);
+      const std::size_t b = std::max(a, col(std::max(iv.start, iv.end - 1e-12)));
+      for (std::size_t c = a; c <= b && c < width; ++c) row[c] = iv.glyph;
+    }
+    os << name << std::string(name_w - name.size(), ' ') << " |" << row << "|\n";
+  }
+  char footer[64];
+  std::snprintf(footer, sizeof footer, "0%*s%.1fs", static_cast<int>(width - 1),
+                "", h);
+  os << std::string(name_w, ' ') << "  " << footer << "\n";
+  return os.str();
+}
+
+}  // namespace phisched

@@ -1,0 +1,47 @@
+// Interval traces: named lanes of (start, end, label) intervals, with an
+// ASCII Gantt renderer. Used to reproduce the Fig. 2 / Fig. 3 coprocessor
+// usage profiles and for debugging schedules.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace phisched {
+
+struct TraceInterval {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::string label;
+  char glyph = '#';
+};
+
+class IntervalTrace {
+ public:
+  /// Starts an open interval on `lane`; returns a token to close it.
+  std::size_t open(const std::string& lane, SimTime start, std::string label,
+                   char glyph = '#');
+
+  /// Closes the interval identified by (lane, token).
+  void close(const std::string& lane, std::size_t token, SimTime end);
+
+  /// Records an already-closed interval.
+  void record(const std::string& lane, SimTime start, SimTime end,
+              std::string label, char glyph = '#');
+
+  [[nodiscard]] const std::vector<TraceInterval>& lane(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> lanes() const;
+  [[nodiscard]] SimTime horizon() const;
+
+  /// Renders all lanes as an ASCII Gantt chart, `width` columns spanning
+  /// [0, horizon()].
+  [[nodiscard]] std::string ascii(std::size_t width = 78) const;
+
+ private:
+  std::map<std::string, std::vector<TraceInterval>> lanes_;
+};
+
+}  // namespace phisched

@@ -1,0 +1,71 @@
+#include "workload/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::workload {
+
+namespace {
+
+JobSpec apply_observation(JobSpec job, MiB observed_peak_memory,
+                          ThreadCount observed_peak_threads,
+                          const EstimateConfig& config) {
+  PHISCHED_REQUIRE(config.memory_margin >= 0.0,
+                   "estimator: negative memory margin");
+  PHISCHED_REQUIRE(config.thread_margin >= 0.0,
+                   "estimator: negative thread margin");
+  const double mem_with_margin =
+      static_cast<double>(job.base_memory_mib + observed_peak_memory) *
+      (1.0 + config.memory_margin);
+  job.mem_req_mib = quantize_up(static_cast<MiB>(std::llround(mem_with_margin)),
+                                config.memory_quantum_mib);
+
+  const double threads_with_margin =
+      static_cast<double>(observed_peak_threads) * (1.0 + config.thread_margin);
+  // The epsilon guards against FP noise inflating exact products
+  // (e.g. 180 * 1.1 = 198.0000000003 must not become 199).
+  job.threads_req = std::max<ThreadCount>(
+      1, static_cast<ThreadCount>(std::ceil(threads_with_margin - 1e-9)));
+  return job;
+}
+
+}  // namespace
+
+JobSpec estimate_from_full_profile(JobSpec job, const EstimateConfig& config) {
+  const MiB peak_mem = job.profile.max_offload_memory();
+  const ThreadCount peak_threads = std::max(1, job.profile.max_threads());
+  JobSpec out = apply_observation(std::move(job), peak_mem, peak_threads, config);
+  PHISCHED_CHECK(out.declaration_truthful(),
+                 "full-profile estimate must be truthful");
+  return out;
+}
+
+JobSpec estimate_from_partial_profile(JobSpec job,
+                                      std::size_t observed_offloads,
+                                      const EstimateConfig& config) {
+  PHISCHED_REQUIRE(observed_offloads > 0,
+                   "estimator: must observe at least one offload");
+  MiB peak_mem = 0;
+  ThreadCount peak_threads = 1;
+  std::size_t seen = 0;
+  for (const Segment& seg : job.profile.segments()) {
+    if (seg.kind != SegmentKind::kOffload) continue;
+    peak_mem = std::max(peak_mem, seg.memory_mib);
+    peak_threads = std::max(peak_threads, seg.threads);
+    if (++seen == observed_offloads) break;
+  }
+  PHISCHED_REQUIRE(seen > 0, "estimator: profile has no offloads");
+  return apply_observation(std::move(job), peak_mem, peak_threads, config);
+}
+
+JobSet estimate_all(JobSet jobs, const EstimateConfig& config) {
+  for (JobSpec& job : jobs) {
+    job = estimate_from_full_profile(std::move(job), config);
+  }
+  return jobs;
+}
+
+}  // namespace phisched::workload

@@ -1,0 +1,48 @@
+// Automatic resource-requirement estimation.
+//
+// The paper assumes users declare each job's maximum Phi memory and
+// thread requirements, noting that "this could be relaxed with tools that
+// automatically estimate jobs' resource requirements" (Section IV-B).
+// This module is that tool: it derives declarations from (full or
+// partial) observations of a job's offload profile — as a profiling run
+// of the application would — with a configurable safety margin.
+//
+// A PARTIAL observation (only the first k offloads) can underestimate a
+// job whose later offloads grow, which is exactly the user mistake
+// COSMIC's containers exist to catch; the failure-injection tests build
+// such jobs deliberately.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/jobspec.hpp"
+
+namespace phisched::workload {
+
+struct EstimateConfig {
+  /// Relative headroom added to the observed peak memory (0.15 = +15%).
+  double memory_margin = 0.15;
+  /// Relative headroom on the observed peak thread count; extra threads
+  /// are rounded up to whole values.
+  double thread_margin = 0.0;
+  /// Declarations are rounded up to this grid (the knapsack's quantum).
+  MiB memory_quantum_mib = 50;
+};
+
+/// Returns `job` with declarations derived from its FULL profile plus the
+/// configured margins. The result is always truthful.
+[[nodiscard]] JobSpec estimate_from_full_profile(JobSpec job,
+                                                 const EstimateConfig& config = {});
+
+/// Returns `job` with declarations derived from only its first
+/// `observed_offloads` offload regions (a short profiling run). May
+/// underestimate if later offloads are bigger.
+[[nodiscard]] JobSpec estimate_from_partial_profile(
+    JobSpec job, std::size_t observed_offloads,
+    const EstimateConfig& config = {});
+
+/// Applies estimate_from_full_profile to a whole job set.
+[[nodiscard]] JobSet estimate_all(JobSet jobs,
+                                  const EstimateConfig& config = {});
+
+}  // namespace phisched::workload

@@ -1,0 +1,38 @@
+// Job-set serialization: a line-oriented text format so workloads can be
+// generated once, saved, inspected, edited and replayed (e.g. through
+// tools/phisched_cli --save-jobs/--load-jobs).
+//
+//   # phisched jobset v1
+//   job id=0 template=KM mem=1300 threads=60 base=16 submit=0
+//     offload 4.25 60 1200
+//     host 1.5
+//     offload 3.9 60 1200
+//   end
+//
+// `mem`/`threads` are the user-declared requirements; the indented lines
+// are the ground-truth profile (duration [threads memory] per segment).
+// Durations round-trip through decimal text with enough digits to be
+// bit-exact.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "workload/jobspec.hpp"
+
+namespace phisched::workload {
+
+/// Serializes a job set to the textual format above.
+[[nodiscard]] std::string to_text(const JobSet& jobs);
+
+/// Parses the textual format; throws std::invalid_argument with a line
+/// number on malformed input.
+[[nodiscard]] JobSet from_text(std::string_view text);
+
+/// Writes to_text(jobs) to `path`; returns false on I/O failure.
+[[nodiscard]] bool save_jobset(const JobSet& jobs, const std::string& path);
+
+/// Reads and parses a job set; throws on I/O or parse failure.
+[[nodiscard]] JobSet load_jobset(const std::string& path);
+
+}  // namespace phisched::workload

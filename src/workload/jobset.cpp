@@ -1,0 +1,54 @@
+#include "workload/jobset.hpp"
+
+#include "common/error.hpp"
+#include "workload/templates.hpp"
+
+namespace phisched::workload {
+
+JobSet make_real_jobset(std::size_t count, Rng rng) {
+  const auto& templates = table1_templates();
+  JobSet jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& tmpl = templates[rng.index(templates.size())];
+    jobs.push_back(tmpl.sample(static_cast<JobId>(i), rng));
+  }
+  return jobs;
+}
+
+JobSet make_synthetic_jobset(Distribution distribution, std::size_t count,
+                             Rng rng, SyntheticConfig config) {
+  config.distribution = distribution;
+  JobSet jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back(sample_synthetic_job(config, static_cast<JobId>(i), rng));
+  }
+  return jobs;
+}
+
+Histogram memory_histogram(const JobSet& jobs, std::size_t bins) {
+  MiB lo = jobs.empty() ? 0 : jobs.front().mem_req_mib;
+  MiB hi = lo;
+  for (const auto& j : jobs) {
+    lo = std::min(lo, j.mem_req_mib);
+    hi = std::max(hi, j.mem_req_mib);
+  }
+  Histogram h(static_cast<double>(lo), static_cast<double>(hi) + 1.0, bins);
+  for (const auto& j : jobs) h.add(static_cast<double>(j.mem_req_mib));
+  return h;
+}
+
+Histogram thread_histogram(const JobSet& jobs, std::size_t bins) {
+  Histogram h(0.0, 241.0, bins);
+  for (const auto& j : jobs) h.add(static_cast<double>(j.threads_req));
+  return h;
+}
+
+SimTime total_serial_duration(const JobSet& jobs) {
+  SimTime t = 0.0;
+  for (const auto& j : jobs) t += j.profile.total_duration();
+  return t;
+}
+
+}  // namespace phisched::workload

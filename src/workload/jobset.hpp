@@ -1,0 +1,34 @@
+// Job-set builders for the paper's experiments.
+#pragma once
+
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "workload/jobspec.hpp"
+#include "workload/synthetic.hpp"
+
+namespace phisched::workload {
+
+/// `count` independent instances drawn round-robin-free (uniformly) from
+/// the seven Table I templates — the paper's "1000 instances from the real
+/// Xeon Phi workloads".
+[[nodiscard]] JobSet make_real_jobset(std::size_t count, Rng rng);
+
+/// `count` synthetic jobs from the given Fig. 7 distribution.
+[[nodiscard]] JobSet make_synthetic_jobset(Distribution distribution,
+                                           std::size_t count, Rng rng,
+                                           SyntheticConfig config = {});
+
+/// Histogram of declared memory requirements (for reproducing Fig. 7).
+[[nodiscard]] Histogram memory_histogram(const JobSet& jobs,
+                                         std::size_t bins = 10);
+
+/// Histogram of declared thread requirements.
+[[nodiscard]] Histogram thread_histogram(const JobSet& jobs,
+                                         std::size_t bins = 8);
+
+/// Sum over jobs of profile.total_duration() — the serial work content.
+[[nodiscard]] SimTime total_serial_duration(const JobSet& jobs);
+
+}  // namespace phisched::workload

@@ -1,0 +1,55 @@
+// Job specifications: what the user submits to the cluster.
+//
+// Per the paper (Section IV-B), the user declares exactly two resource
+// numbers per job — the maximum Xeon Phi memory requirement and the maximum
+// thread requirement. The scheduler never sees execution times or profiles;
+// those are ground truth known only to the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/profile.hpp"
+
+namespace phisched::workload {
+
+struct JobSpec {
+  JobId id = 0;
+  std::string template_name;
+
+  /// Declared maximum Phi memory (MiB) PER DEVICE — the knapsack weight.
+  /// COSMIC's container kills the job if actual usage exceeds this.
+  MiB mem_req_mib = 0;
+  /// Declared maximum Phi thread requirement (per device).
+  ThreadCount threads_req = 0;
+  /// Coprocessors the job needs simultaneously (its gang size). The
+  /// paper's job scripts carry this as RequestPhiDevices; all evaluated
+  /// workloads use 1.
+  int devices_req = 1;
+
+  /// Resident device memory of the COI helper process while the job is
+  /// running (independent of offload working sets).
+  MiB base_memory_mib = 16;
+
+  /// Ground-truth execution profile (hidden from schedulers).
+  OffloadProfile profile;
+
+  /// Submission time; 0 for the static job sets the paper evaluates.
+  SimTime submit_time = 0.0;
+
+  /// Peak device memory the job will actually touch.
+  [[nodiscard]] MiB actual_peak_memory() const {
+    return base_memory_mib + profile.max_offload_memory();
+  }
+
+  /// True when the declaration covers the actual behaviour (no user error).
+  [[nodiscard]] bool declaration_truthful() const {
+    return actual_peak_memory() <= mem_req_mib &&
+           profile.max_threads() <= threads_req;
+  }
+};
+
+using JobSet = std::vector<JobSpec>;
+
+}  // namespace phisched::workload

@@ -1,0 +1,90 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phisched::workload {
+
+Segment Segment::host(SimTime duration) {
+  PHISCHED_REQUIRE(duration >= 0.0, "host segment: negative duration");
+  Segment s;
+  s.kind = SegmentKind::kHost;
+  s.duration = duration;
+  return s;
+}
+
+Segment Segment::offload(SimTime duration, ThreadCount threads, MiB memory_mib,
+                         int device_index) {
+  PHISCHED_REQUIRE(duration >= 0.0, "offload segment: negative duration");
+  PHISCHED_REQUIRE(threads > 0, "offload segment: need at least one thread");
+  PHISCHED_REQUIRE(memory_mib >= 0, "offload segment: negative memory");
+  PHISCHED_REQUIRE(device_index >= 0, "offload segment: negative device index");
+  Segment s;
+  s.kind = SegmentKind::kOffload;
+  s.duration = duration;
+  s.threads = threads;
+  s.memory_mib = memory_mib;
+  s.device_index = device_index;
+  return s;
+}
+
+Segment Segment::offload_async(SimTime duration, ThreadCount threads,
+                               MiB memory_mib, int device_index) {
+  Segment s = offload(duration, threads, memory_mib, device_index);
+  s.async = true;
+  return s;
+}
+
+Segment Segment::sync() {
+  Segment s;
+  s.kind = SegmentKind::kSync;
+  return s;
+}
+
+OffloadProfile::OffloadProfile(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {}
+
+std::size_t OffloadProfile::offload_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(segments_.begin(), segments_.end(), [](const Segment& s) {
+        return s.kind == SegmentKind::kOffload;
+      }));
+}
+
+SimTime OffloadProfile::total_duration() const {
+  SimTime t = 0.0;
+  for (const auto& s : segments_) t += s.duration;
+  return t;
+}
+
+SimTime OffloadProfile::offload_time() const {
+  SimTime t = 0.0;
+  for (const auto& s : segments_) {
+    if (s.kind == SegmentKind::kOffload) t += s.duration;
+  }
+  return t;
+}
+
+double OffloadProfile::duty_cycle() const {
+  const SimTime total = total_duration();
+  return total <= 0.0 ? 0.0 : offload_time() / total;
+}
+
+ThreadCount OffloadProfile::max_threads() const {
+  ThreadCount t = 0;
+  for (const auto& s : segments_) {
+    if (s.kind == SegmentKind::kOffload) t = std::max(t, s.threads);
+  }
+  return t;
+}
+
+MiB OffloadProfile::max_offload_memory() const {
+  MiB m = 0;
+  for (const auto& s : segments_) {
+    if (s.kind == SegmentKind::kOffload) m = std::max(m, s.memory_mib);
+  }
+  return m;
+}
+
+}  // namespace phisched::workload

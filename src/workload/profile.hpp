@@ -1,0 +1,76 @@
+// Offload profiles: the alternating host/offload structure of a Xeon Phi
+// offload job (paper Figs. 2 and 3).
+//
+// A job launches on the host and intermittently offloads kernels to the
+// coprocessor. Each offload segment carries the thread count it spawns on
+// the device and the working-set memory it touches; host segments occupy
+// only the host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace phisched::workload {
+
+enum class SegmentKind {
+  kHost,
+  kOffload,
+  /// Barrier: waits for every outstanding ASYNC offload to complete (the
+  /// COI wait-on-event pattern). Jobs also barrier implicitly at the end.
+  kSync,
+};
+
+struct Segment {
+  SegmentKind kind = SegmentKind::kHost;
+  /// Execution time at full device speed (offloads stretch under
+  /// oversubscription; host segments never stretch).
+  SimTime duration = 0.0;
+  /// Hardware threads the offload spawns (offload segments only).
+  ThreadCount threads = 0;
+  /// Device memory actually touched during the offload (offload only).
+  MiB memory_mib = 0;
+  /// Which of the job's coprocessors runs this offload — an index into
+  /// the job's gang (`#pragma offload target(mic:INDEX)`), 0 for the
+  /// common single-device case.
+  int device_index = 0;
+  /// Asynchronous offload (COI async launch): the host continues to the
+  /// next segment immediately; a kSync segment (or job end) joins it.
+  bool async = false;
+
+  [[nodiscard]] static Segment host(SimTime duration);
+  [[nodiscard]] static Segment offload(SimTime duration, ThreadCount threads,
+                                       MiB memory_mib, int device_index = 0);
+  [[nodiscard]] static Segment offload_async(SimTime duration,
+                                             ThreadCount threads,
+                                             MiB memory_mib,
+                                             int device_index = 0);
+  [[nodiscard]] static Segment sync();
+};
+
+/// A job's complete host/offload alternation.
+class OffloadProfile {
+ public:
+  OffloadProfile() = default;
+  explicit OffloadProfile(std::vector<Segment> segments);
+
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] std::size_t offload_count() const;
+
+  /// Total runtime if run alone at full speed.
+  [[nodiscard]] SimTime total_duration() const;
+  /// Time spent in offload segments at full speed.
+  [[nodiscard]] SimTime offload_time() const;
+  /// offload_time / total_duration, in [0,1].
+  [[nodiscard]] double duty_cycle() const;
+
+  [[nodiscard]] ThreadCount max_threads() const;
+  [[nodiscard]] MiB max_offload_memory() const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace phisched::workload

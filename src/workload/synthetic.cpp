@@ -1,0 +1,96 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::workload {
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "Uniform";
+    case Distribution::kNormal: return "Normal";
+    case Distribution::kLowSkew: return "Low Resource Skew";
+    case Distribution::kHighSkew: return "High Resource Skew";
+  }
+  return "?";
+}
+
+const char* distribution_slug(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kNormal: return "normal";
+    case Distribution::kLowSkew: return "lowskew";
+    case Distribution::kHighSkew: return "highskew";
+  }
+  return "?";
+}
+
+std::vector<Distribution> all_distributions() {
+  return {Distribution::kUniform, Distribution::kNormal,
+          Distribution::kLowSkew, Distribution::kHighSkew};
+}
+
+double sample_resource_level(const SyntheticConfig& config, Rng& rng) {
+  switch (config.distribution) {
+    case Distribution::kUniform:
+      return rng.uniform_real(0.0, 1.0);
+    case Distribution::kNormal:
+      return rng.truncated_normal(0.5, config.normal_stddev, 0.0, 1.0);
+    case Distribution::kLowSkew:
+      return rng.truncated_normal(
+          0.5 - config.skew_shift_stddevs * config.normal_stddev,
+          config.normal_stddev, 0.0, 1.0);
+    case Distribution::kHighSkew:
+      return rng.truncated_normal(
+          0.5 + config.skew_shift_stddevs * config.normal_stddev,
+          config.normal_stddev, 0.0, 1.0);
+  }
+  return 0.5;
+}
+
+JobSpec sample_synthetic_job(const SyntheticConfig& config, JobId id, Rng& rng) {
+  PHISCHED_REQUIRE(config.memory_lo_mib > 0 &&
+                       config.memory_hi_mib > config.memory_lo_mib,
+                   "synthetic: bad memory range");
+  PHISCHED_REQUIRE(config.thread_step > 0 &&
+                       config.threads_max >= config.thread_step,
+                   "synthetic: bad thread range");
+
+  const double r = sample_resource_level(config, rng);
+
+  JobSpec job;
+  job.id = id;
+  job.template_name =
+      std::string("SYN-") + distribution_slug(config.distribution);
+
+  // Memory and threads both scale with the resource level (correlated).
+  const auto span = static_cast<double>(config.memory_hi_mib - config.memory_lo_mib);
+  const MiB working_set =
+      config.memory_lo_mib + static_cast<MiB>(std::llround(r * span));
+  job.mem_req_mib = quantize_up(working_set + job.base_memory_mib);
+
+  const int steps = config.threads_max / config.thread_step;
+  const int level = std::clamp(
+      static_cast<int>(std::llround(r * steps)), 1, steps);
+  job.threads_req = level * config.thread_step;
+
+  // Profile shape mirrors the real templates: a handful of offloads with
+  // host gaps in between. Durations are independent of the resource level.
+  const int offloads = static_cast<int>(rng.uniform_int(4, 8));
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<std::size_t>(offloads) * 2);
+  for (int i = 0; i < offloads; ++i) {
+    if (i > 0) segments.push_back(Segment::host(rng.uniform_real(4.5, 8.0)));
+    segments.push_back(Segment::offload(rng.uniform_real(3.5, 7.0),
+                                        job.threads_req, working_set));
+  }
+  job.profile = OffloadProfile(std::move(segments));
+  PHISCHED_CHECK(job.declaration_truthful(),
+                 "synthetic job produced an untruthful declaration");
+  return job;
+}
+
+}  // namespace phisched::workload

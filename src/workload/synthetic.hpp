@@ -1,0 +1,46 @@
+// Synthetic job sets with controlled resource-requirement distributions
+// (paper Fig. 7 and Section V-B).
+//
+// Each job draws a scalar "resource level" r ∈ [0,1] from the selected
+// distribution; both its memory and thread requirements scale with r, per
+// the paper's assumption that "jobs with low Xeon Phi memory requirements
+// also have low thread requirements, and vice versa".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/jobspec.hpp"
+
+namespace phisched::workload {
+
+enum class Distribution { kUniform, kNormal, kLowSkew, kHighSkew };
+
+[[nodiscard]] const char* distribution_name(Distribution d);
+/// Whitespace-free identifier ("uniform", "lowskew", ...) used in
+/// template names and file formats.
+[[nodiscard]] const char* distribution_slug(Distribution d);
+[[nodiscard]] std::vector<Distribution> all_distributions();
+
+struct SyntheticConfig {
+  Distribution distribution = Distribution::kUniform;
+  MiB memory_lo_mib = 300;   ///< resource level 0 maps here
+  MiB memory_hi_mib = 3400;  ///< resource level 1 maps here
+  ThreadCount thread_step = 30;  ///< threads are multiples of this
+  ThreadCount threads_max = 240;
+  double normal_stddev = 0.18;  ///< of the resource level, in [0,1] units
+  /// Mean shift for the skewed distributions: ±1 standard deviation from
+  /// the normal mean, per Section V-B.
+  double skew_shift_stddevs = 1.0;
+};
+
+/// Draws one resource level in [0,1] from the configured distribution.
+[[nodiscard]] double sample_resource_level(const SyntheticConfig& config,
+                                           Rng& rng);
+
+/// Samples a synthetic offload job with the given resource level.
+[[nodiscard]] JobSpec sample_synthetic_job(const SyntheticConfig& config,
+                                           JobId id, Rng& rng);
+
+}  // namespace phisched::workload

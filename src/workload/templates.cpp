@@ -1,0 +1,69 @@
+#include "workload/templates.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/quantize.hpp"
+
+namespace phisched::workload {
+
+JobSpec WorkloadTemplate::sample(JobId id, Rng& rng) const {
+  JobSpec job;
+  job.id = id;
+  job.template_name = name;
+  job.threads_req = threads;
+
+  // The declaration is the quantized peak requirement, as a user reading
+  // Table I would submit it.
+  const MiB working_set =
+      rng.uniform_int(memory_lo_mib, memory_hi_mib);
+  job.mem_req_mib = quantize_up(working_set + job.base_memory_mib);
+
+  const int offloads =
+      static_cast<int>(rng.uniform_int(offloads_lo, offloads_hi));
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<std::size_t>(offloads) * 2 + 1);
+  for (int i = 0; i < offloads; ++i) {
+    if (i > 0) {
+      segments.push_back(Segment::host(rng.uniform_real(host_lo_s, host_hi_s)));
+    }
+    segments.push_back(Segment::offload(
+        rng.uniform_real(offload_lo_s, offload_hi_s), threads, working_set));
+  }
+  job.profile = OffloadProfile(std::move(segments));
+  PHISCHED_CHECK(job.declaration_truthful(),
+                 "template produced an untruthful declaration");
+  return job;
+}
+
+const std::vector<WorkloadTemplate>& table1_templates() {
+  // name, description, threads, mem lo/hi, #offloads lo/hi,
+  // offload duration lo/hi (s), host gap lo/hi (s).
+  static const std::vector<WorkloadTemplate> kTemplates = {
+      {"KM", "K-means, Lloyd clustering (4M pts, 3 dims, 32 means)",
+       60, 300, 1250, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"MC", "Monte Carlo simulation (N=32M paths, T=1000 steps)",
+       180, 400, 650, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"MD", "Molecular dynamics (25000 particles, 5 time steps)",
+       180, 300, 750, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"SG", "SGEMM series (8Kx8K matrices, 10 iterations)",
+       60, 500, 3400, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"BT", "NPB BT: CFD block tri-diagonal solver (162^3, 200 it)",
+       240, 300, 1250, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"SP", "NPB SP: CFD scalar penta-diagonal solver (162^3, 400 it)",
+       180, 300, 1850, 4, 8, 3.5, 7.0, 4.5, 8.0},
+      {"LU", "NPB LU: CFD lower-upper Gauss-Seidel solver (162^3, 250 it)",
+       180, 400, 1250, 4, 8, 3.5, 7.0, 4.5, 8.0},
+  };
+  return kTemplates;
+}
+
+const WorkloadTemplate& table1_template(const std::string& name) {
+  const auto& templates = table1_templates();
+  auto it = std::find_if(templates.begin(), templates.end(),
+                         [&](const WorkloadTemplate& t) { return t.name == name; });
+  PHISCHED_REQUIRE(it != templates.end(), "unknown Table I template: " + name);
+  return *it;
+}
+
+}  // namespace phisched::workload

@@ -1,0 +1,82 @@
+#include "workload/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace phisched::workload {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& issue : errors) {
+    os << "error: job " << issue.job << ": " << issue.problem << "\n";
+  }
+  for (const auto& issue : warnings) {
+    os << "warning: job " << issue.job << ": " << issue.problem << "\n";
+  }
+  if (errors.empty() && warnings.empty()) os << "ok\n";
+  return os.str();
+}
+
+ValidationReport validate_jobset(const JobSet& jobs, const PhiHardware& hw) {
+  ValidationReport report;
+  auto error = [&](JobId id, std::string what) {
+    report.errors.push_back({id, std::move(what)});
+  };
+  auto warn = [&](JobId id, std::string what) {
+    report.warnings.push_back({id, std::move(what)});
+  };
+
+  std::set<JobId> seen;
+  for (const JobSpec& job : jobs) {
+    if (!seen.insert(job.id).second) {
+      error(job.id, "duplicate job id");
+    }
+    if (job.mem_req_mib <= 0) {
+      error(job.id, "declared memory must be positive");
+    } else if (job.mem_req_mib > hw.usable_memory_mib()) {
+      error(job.id, "declared memory " + std::to_string(job.mem_req_mib) +
+                        " MiB exceeds the coprocessor's usable " +
+                        std::to_string(hw.usable_memory_mib()) + " MiB");
+    }
+    if (job.threads_req <= 0) {
+      error(job.id, "declared threads must be positive");
+    } else if (job.threads_req > hw.hw_threads()) {
+      error(job.id, "declared threads " + std::to_string(job.threads_req) +
+                        " exceed the coprocessor's " +
+                        std::to_string(hw.hw_threads()));
+    }
+    if (job.base_memory_mib < 0) {
+      error(job.id, "negative base memory");
+    }
+    if (job.devices_req < 1) {
+      error(job.id, "devices_req must be at least 1");
+    } else {
+      for (const Segment& seg : job.profile.segments()) {
+        if (seg.kind == SegmentKind::kOffload &&
+            seg.device_index >= job.devices_req) {
+          error(job.id, "offload targets device index " +
+                            std::to_string(seg.device_index) +
+                            " but the gang has only " +
+                            std::to_string(job.devices_req) + " device(s)");
+          break;
+        }
+      }
+    }
+    if (job.submit_time < 0.0) {
+      error(job.id, "negative submit time");
+    }
+    if (job.profile.empty()) {
+      warn(job.id, "empty profile (completes instantly)");
+    }
+    if (job.mem_req_mib > 0 && !job.declaration_truthful()) {
+      warn(job.id,
+           "declaration does not cover actual usage (peak " +
+               std::to_string(job.actual_peak_memory()) + " MiB / " +
+               std::to_string(job.profile.max_threads()) +
+               " threads) — COSMIC will kill this job");
+    }
+  }
+  return report;
+}
+
+}  // namespace phisched::workload

@@ -1,0 +1,34 @@
+// Job-set validation: the checks an operator wants before submitting a
+// workload — hard errors (the cluster would reject or deadlock on these)
+// and warnings (the run will "work" but jobs will be killed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/jobspec.hpp"
+
+namespace phisched::workload {
+
+struct ValidationIssue {
+  JobId job = 0;
+  std::string problem;
+};
+
+struct ValidationReport {
+  /// Fatal: run_experiment would refuse or the job could never schedule.
+  std::vector<ValidationIssue> errors;
+  /// Non-fatal: e.g. untruthful declarations that COSMIC will kill.
+  std::vector<ValidationIssue> warnings;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validates every job against one coprocessor's capacities and the
+/// set-level invariants (unique ids).
+[[nodiscard]] ValidationReport validate_jobset(const JobSet& jobs,
+                                               const PhiHardware& hw = {});
+
+}  // namespace phisched::workload

@@ -1,0 +1,71 @@
+// Condor string-list builtins (used by real-world Requirements like
+// stringListMember(TARGET.Name, MY.AllowedNodes)).
+#include <gtest/gtest.h>
+
+#include "classad/classad.hpp"
+#include "classad/eval.hpp"
+#include "classad/parser.hpp"
+
+namespace phisched::classad {
+namespace {
+
+Value eval_src(std::string_view src, const ClassAd* my = nullptr) {
+  return evaluate(parse(src), EvalContext{my, nullptr});
+}
+
+TEST(StringList, MemberBasics) {
+  EXPECT_TRUE(eval_src("stringListMember(\"b\", \"a, b, c\")").as_boolean());
+  EXPECT_FALSE(eval_src("stringListMember(\"d\", \"a, b, c\")").as_boolean());
+}
+
+TEST(StringList, MemberIsCaseInsensitive) {
+  EXPECT_TRUE(
+      eval_src("stringListMember(\"NODE3\", \"node1,node2,node3\")")
+          .as_boolean());
+}
+
+TEST(StringList, CustomDelimiter) {
+  EXPECT_TRUE(
+      eval_src("stringListMember(\"y\", \"x;y;z\", \";\")").as_boolean());
+  EXPECT_FALSE(
+      eval_src("stringListMember(\"y\", \"x;y;z\", \",\")").as_boolean());
+}
+
+TEST(StringList, EmptyListHasNoMembers) {
+  EXPECT_FALSE(eval_src("stringListMember(\"a\", \"\")").as_boolean());
+}
+
+TEST(StringList, SizeCountsItems) {
+  EXPECT_EQ(eval_src("stringListSize(\"a, b, c\")").as_integer(), 3);
+  EXPECT_EQ(eval_src("stringListSize(\"\")").as_integer(), 0);
+  EXPECT_EQ(eval_src("stringListSize(\"one\")").as_integer(), 1);
+  EXPECT_EQ(eval_src("stringListSize(\"a;;b\", \";\")").as_integer(), 2);
+}
+
+TEST(StringList, UndefinedPropagates) {
+  EXPECT_TRUE(eval_src("stringListMember(nope, \"a,b\")").is_undefined());
+  EXPECT_TRUE(eval_src("stringListSize(nope)").is_undefined());
+}
+
+TEST(StringList, NonStringArgumentsAreErrors) {
+  EXPECT_TRUE(eval_src("stringListMember(1, \"a,b\")").is_error());
+  EXPECT_TRUE(eval_src("stringListSize(42)").is_error());
+  EXPECT_TRUE(eval_src("stringListMember(\"a\")").is_error());
+}
+
+TEST(StringList, UsableInRequirements) {
+  // A realistic allowlist requirement.
+  ClassAd job;
+  job.insert_string("AllowedNodes", "node1, node3, node5");
+  job.insert_expr("Requirements",
+                  "stringListMember(TARGET.Name, MY.AllowedNodes)");
+  ClassAd ok;
+  ok.insert_string("Name", "node3");
+  ClassAd no;
+  no.insert_string("Name", "node2");
+  EXPECT_TRUE(requirements_met(job, ok));
+  EXPECT_FALSE(requirements_met(job, no));
+}
+
+}  // namespace
+}  // namespace phisched::classad

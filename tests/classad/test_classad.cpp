@@ -1,0 +1,116 @@
+#include "classad/classad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "classad/parser.hpp"
+
+namespace phisched::classad {
+namespace {
+
+TEST(ClassAd, InsertAndLookup) {
+  ClassAd ad;
+  ad.insert_integer("Mem", 2048);
+  ad.insert_string("Name", "node1");
+  ad.insert_boolean("Healthy", true);
+  ad.insert_real("Load", 0.5);
+  EXPECT_TRUE(ad.has("Mem"));
+  EXPECT_TRUE(ad.has("mem"));  // case-insensitive
+  EXPECT_FALSE(ad.has("Nope"));
+  EXPECT_EQ(ad.size(), 4u);
+}
+
+TEST(ClassAd, TypedEvalAccessors) {
+  ClassAd ad;
+  ad.insert_integer("i", 3);
+  ad.insert_real("r", 1.5);
+  ad.insert_boolean("b", true);
+  ad.insert_string("s", "text");
+  EXPECT_EQ(ad.eval_integer("i"), 3);
+  EXPECT_EQ(ad.eval_integer("r"), 1);  // truncation
+  EXPECT_DOUBLE_EQ(*ad.eval_real("r"), 1.5);
+  EXPECT_EQ(ad.eval_boolean("b"), true);
+  EXPECT_EQ(ad.eval_string("s"), "text");
+  EXPECT_EQ(ad.eval_integer("missing"), std::nullopt);
+  EXPECT_EQ(ad.eval_string("i"), std::nullopt);
+}
+
+TEST(ClassAd, NumbersAreTruthyBooleans) {
+  ClassAd ad;
+  ad.insert_integer("n", 5);
+  EXPECT_EQ(ad.eval_boolean("n"), true);
+  ad.insert_integer("z", 0);
+  EXPECT_EQ(ad.eval_boolean("z"), false);
+}
+
+TEST(ClassAd, InsertReplacesExisting) {
+  ClassAd ad;
+  ad.insert_integer("x", 1);
+  ad.insert_integer("X", 2);  // same attribute, case-insensitively
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.eval_integer("x"), 2);
+}
+
+TEST(ClassAd, EraseRemoves) {
+  ClassAd ad;
+  ad.insert_integer("x", 1);
+  EXPECT_TRUE(ad.erase("X"));
+  EXPECT_FALSE(ad.erase("X"));
+  EXPECT_FALSE(ad.has("x"));
+}
+
+TEST(ClassAd, InsertExprEvaluatesLazily) {
+  ClassAd ad;
+  ad.insert_expr("derived", "base * 2");
+  EXPECT_TRUE(ad.eval("derived").is_undefined());
+  ad.insert_integer("base", 21);
+  EXPECT_EQ(ad.eval_integer("derived"), 42);
+}
+
+TEST(ClassAd, CopyIsIndependent) {
+  ClassAd a;
+  a.insert_integer("x", 1);
+  ClassAd b = a;
+  b.insert_integer("x", 2);
+  EXPECT_EQ(a.eval_integer("x"), 1);
+  EXPECT_EQ(b.eval_integer("x"), 2);
+}
+
+TEST(ClassAd, AttributeNamesSorted) {
+  ClassAd ad;
+  ad.insert_integer("zeta", 1);
+  ad.insert_integer("Alpha", 2);
+  ad.insert_integer("mid", 3);
+  EXPECT_EQ(ad.attribute_names(),
+            (std::vector<std::string>{"Alpha", "mid", "zeta"}));
+}
+
+TEST(ClassAd, ToStringRendersAllAttributes) {
+  ClassAd ad;
+  ad.insert_integer("Mem", 2048);
+  ad.insert_expr("Requirements", "TARGET.FreeSlots >= 1");
+  const std::string s = ad.to_string();
+  EXPECT_NE(s.find("Mem = 2048"), std::string::npos);
+  EXPECT_NE(s.find("Requirements = (TARGET.FreeSlots >= 1)"),
+            std::string::npos);
+}
+
+TEST(ClassAd, RejectsBadInsert) {
+  ClassAd ad;
+  EXPECT_THROW(ad.insert("", make_literal(Value::integer(1))),
+               std::invalid_argument);
+  EXPECT_THROW(ad.insert("x", nullptr), std::invalid_argument);
+}
+
+TEST(ClassAd, EvalWithTarget) {
+  ClassAd job;
+  job.insert_expr("fits", "TARGET.Free >= MY.Need");
+  job.insert_integer("Need", 100);
+  ClassAd machine;
+  machine.insert_integer("Free", 150);
+  EXPECT_TRUE(job.eval("fits", &machine).as_boolean());
+  machine.insert_integer("Free", 50);
+  EXPECT_FALSE(job.eval("fits", &machine).as_boolean());
+}
+
+}  // namespace
+}  // namespace phisched::classad

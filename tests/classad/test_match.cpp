@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "classad/classad.hpp"
+
+namespace phisched::classad {
+namespace {
+
+ClassAd machine_ad(std::int64_t free_mem, std::int64_t free_slots) {
+  ClassAd ad;
+  ad.insert_string("Name", "node0");
+  ad.insert_integer("PhiFreeMemory", free_mem);
+  ad.insert_integer("FreeSlots", free_slots);
+  ad.insert_expr("Requirements", "MY.FreeSlots >= 1");
+  return ad;
+}
+
+ClassAd job_ad(std::int64_t mem_request) {
+  ClassAd ad;
+  ad.insert_integer("RequestPhiMemory", mem_request);
+  ad.insert_expr("Requirements",
+                 "TARGET.PhiFreeMemory >= MY.RequestPhiMemory");
+  return ad;
+}
+
+TEST(Match, SymmetricMatchSucceeds) {
+  const ClassAd machine = machine_ad(4096, 4);
+  const ClassAd job = job_ad(2048);
+  EXPECT_TRUE(requirements_met(job, machine));
+  EXPECT_TRUE(requirements_met(machine, job));
+  EXPECT_TRUE(symmetric_match(job, machine));
+}
+
+TEST(Match, JobSideRejects) {
+  const ClassAd machine = machine_ad(1024, 4);
+  const ClassAd job = job_ad(2048);
+  EXPECT_FALSE(requirements_met(job, machine));
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(Match, MachineSideRejects) {
+  const ClassAd machine = machine_ad(4096, 0);
+  const ClassAd job = job_ad(1024);
+  EXPECT_TRUE(requirements_met(job, machine));
+  EXPECT_FALSE(requirements_met(machine, job));
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(Match, MissingRequirementsAcceptsAnything) {
+  ClassAd open_job;
+  open_job.insert_integer("RequestPhiMemory", 1);
+  const ClassAd machine = machine_ad(0, 1);
+  EXPECT_TRUE(requirements_met(open_job, machine));
+}
+
+TEST(Match, UndefinedRequirementsDoNotMatch) {
+  ClassAd job;
+  job.insert_expr("Requirements", "TARGET.NoSuchAttribute >= 1");
+  const ClassAd machine = machine_ad(4096, 4);
+  EXPECT_FALSE(requirements_met(job, machine));
+}
+
+TEST(Match, ErrorRequirementsDoNotMatch) {
+  ClassAd job;
+  job.insert_expr("Requirements", "1 / 0");
+  const ClassAd machine = machine_ad(4096, 4);
+  EXPECT_FALSE(requirements_met(job, machine));
+}
+
+TEST(Match, FalseLiteralNeverMatches) {
+  ClassAd job;
+  job.insert_expr("Requirements", "false");
+  EXPECT_FALSE(requirements_met(job, machine_ad(8000, 16)));
+}
+
+TEST(Match, PinnedNameRequirement) {
+  ClassAd job;
+  job.insert_expr("Requirements", "TARGET.Name == \"node0\"");
+  EXPECT_TRUE(requirements_met(job, machine_ad(1, 1)));
+
+  ClassAd other = machine_ad(1, 1);
+  other.insert_string("Name", "node1");
+  EXPECT_FALSE(requirements_met(job, other));
+}
+
+TEST(Match, PinnedNameIsCaseInsensitive) {
+  ClassAd job;
+  job.insert_expr("Requirements", "TARGET.Name == \"NODE0\"");
+  EXPECT_TRUE(requirements_met(job, machine_ad(1, 1)));
+}
+
+TEST(Match, RankEvaluation) {
+  ClassAd job;
+  job.insert_expr("Rank", "TARGET.PhiFreeMemory");
+  const ClassAd machine = machine_ad(4096, 4);
+  EXPECT_DOUBLE_EQ(eval_rank(job, machine), 4096.0);
+  ClassAd no_rank;
+  EXPECT_DOUBLE_EQ(eval_rank(no_rank, machine), 0.0);
+}
+
+TEST(Match, RankNonNumericIsZero) {
+  ClassAd job;
+  job.insert_expr("Rank", "\"not a number\"");
+  EXPECT_DOUBLE_EQ(eval_rank(job, machine_ad(1, 1)), 0.0);
+}
+
+}  // namespace
+}  // namespace phisched::classad

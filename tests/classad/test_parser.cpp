@@ -1,0 +1,108 @@
+#include "classad/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::classad {
+namespace {
+
+std::string round_trip(std::string_view src) { return to_string(parse(src)); }
+
+TEST(Parser, Literals) {
+  EXPECT_EQ(round_trip("42"), "42");
+  EXPECT_EQ(round_trip("3.5"), "3.5");
+  EXPECT_EQ(round_trip("\"hi\""), "\"hi\"");
+  EXPECT_EQ(round_trip("true"), "true");
+  EXPECT_EQ(round_trip("FALSE"), "false");
+  EXPECT_EQ(round_trip("Undefined"), "undefined");
+  EXPECT_EQ(round_trip("ERROR"), "error");
+}
+
+TEST(Parser, AttrRefs) {
+  EXPECT_EQ(round_trip("Memory"), "Memory");
+  EXPECT_EQ(round_trip("MY.Memory"), "MY.Memory");
+  EXPECT_EQ(round_trip("TARGET.Name"), "TARGET.Name");
+  EXPECT_EQ(round_trip("my.x"), "MY.x");
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  EXPECT_EQ(round_trip("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(round_trip("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(Parser, PrecedenceComparisonOverLogic) {
+  EXPECT_EQ(round_trip("a < b && c >= d"), "((a < b) && (c >= d))");
+  EXPECT_EQ(round_trip("a == b || c != d"), "((a == b) || (c != d))");
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  EXPECT_EQ(round_trip("a || b && c"), "(a || (b && c))");
+}
+
+TEST(Parser, RelationalBindsTighterThanEquality) {
+  EXPECT_EQ(round_trip("a < b == c < d"), "((a < b) == (c < d))");
+}
+
+TEST(Parser, LeftAssociativity) {
+  EXPECT_EQ(round_trip("1 - 2 - 3"), "((1 - 2) - 3)");
+  EXPECT_EQ(round_trip("8 / 4 / 2"), "((8 / 4) / 2)");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(round_trip("-x"), "-(x)");
+  EXPECT_EQ(round_trip("!a && b"), "(!(a) && b)");
+  EXPECT_EQ(round_trip("--3"), "-(-(3))");
+}
+
+TEST(Parser, Ternary) {
+  EXPECT_EQ(round_trip("a ? b : c"), "(a ? b : c)");
+  // Right-associative nesting.
+  EXPECT_EQ(round_trip("a ? b : c ? d : e"), "(a ? b : (c ? d : e))");
+}
+
+TEST(Parser, IsOperators) {
+  EXPECT_EQ(round_trip("x =?= undefined"), "(x =?= undefined)");
+  EXPECT_EQ(round_trip("x =!= error"), "(x =!= error)");
+}
+
+TEST(Parser, FunctionCalls) {
+  EXPECT_EQ(round_trip("min(1, 2, 3)"), "min(1, 2, 3)");
+  EXPECT_EQ(round_trip("isUndefined(x)"), "isUndefined(x)");
+  EXPECT_EQ(round_trip("f()"), "f()");
+  EXPECT_EQ(round_trip("max(a + 1, b * 2)"), "max((a + 1), (b * 2))");
+}
+
+TEST(Parser, RealisticRequirements) {
+  const char* req =
+      "TARGET.PhiFreeMemory >= MY.RequestPhiMemory && TARGET.FreeSlots >= 1";
+  EXPECT_EQ(round_trip(req),
+            "((TARGET.PhiFreeMemory >= MY.RequestPhiMemory) && "
+            "(TARGET.FreeSlots >= 1))");
+}
+
+TEST(Parser, PinnedRequirements) {
+  EXPECT_EQ(round_trip("TARGET.Name == \"node3\""),
+            "(TARGET.Name == \"node3\")");
+}
+
+TEST(Parser, TrailingGarbageThrows) {
+  EXPECT_THROW(parse("1 + 2 extra"), ParseError);
+  EXPECT_THROW(parse("(1 + 2"), ParseError);
+  EXPECT_THROW(parse("1 +"), ParseError);
+  EXPECT_THROW(parse(""), ParseError);
+}
+
+TEST(Parser, MissingTernaryColonThrows) {
+  EXPECT_THROW(parse("a ? b"), ParseError);
+}
+
+TEST(Parser, ScopeWithoutAttributeIsPlainIdentifier) {
+  // "MY" alone (no dot) is just an attribute named MY.
+  EXPECT_EQ(round_trip("MY"), "MY");
+}
+
+TEST(Parser, DeeplyNestedParens) {
+  EXPECT_EQ(round_trip("((((1))))"), "1");
+}
+
+}  // namespace
+}  // namespace phisched::classad

@@ -1,0 +1,138 @@
+#include "classad/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::classad {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::undefined().is_undefined());
+  EXPECT_TRUE(Value::error().is_error());
+  EXPECT_TRUE(Value::boolean(true).as_boolean());
+  EXPECT_EQ(Value::integer(-7).as_integer(), -7);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value::string("hi").as_string(), "hi");
+  EXPECT_TRUE(Value::integer(1).is_number());
+  EXPECT_TRUE(Value::real(1.0).is_number());
+  EXPECT_FALSE(Value::boolean(true).is_number());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::undefined().to_string(), "undefined");
+  EXPECT_EQ(Value::error().to_string(), "error");
+  EXPECT_EQ(Value::boolean(false).to_string(), "false");
+  EXPECT_EQ(Value::integer(42).to_string(), "42");
+  EXPECT_EQ(Value::real(2.5).to_string(), "2.5");
+  EXPECT_EQ(Value::string("x").to_string(), "\"x\"");
+}
+
+TEST(Value, ArithmeticIntAndPromotion) {
+  EXPECT_EQ(op_add(Value::integer(2), Value::integer(3)).as_integer(), 5);
+  EXPECT_DOUBLE_EQ(op_add(Value::integer(2), Value::real(0.5)).as_real(), 2.5);
+  EXPECT_EQ(op_mul(Value::integer(4), Value::integer(5)).as_integer(), 20);
+  EXPECT_EQ(op_sub(Value::integer(4), Value::integer(5)).as_integer(), -1);
+  EXPECT_EQ(op_div(Value::integer(7), Value::integer(2)).as_integer(), 3);
+  EXPECT_DOUBLE_EQ(op_div(Value::real(7), Value::integer(2)).as_real(), 3.5);
+  EXPECT_EQ(op_mod(Value::integer(7), Value::integer(3)).as_integer(), 1);
+}
+
+TEST(Value, DivisionByZeroIsError) {
+  EXPECT_TRUE(op_div(Value::integer(1), Value::integer(0)).is_error());
+  EXPECT_TRUE(op_div(Value::real(1.0), Value::real(0.0)).is_error());
+  EXPECT_TRUE(op_mod(Value::integer(1), Value::integer(0)).is_error());
+}
+
+TEST(Value, UndefinedPropagatesThroughArithmetic) {
+  EXPECT_TRUE(op_add(Value::undefined(), Value::integer(1)).is_undefined());
+  EXPECT_TRUE(op_mul(Value::integer(1), Value::undefined()).is_undefined());
+  EXPECT_TRUE(op_neg(Value::undefined()).is_undefined());
+}
+
+TEST(Value, ErrorDominatesUndefined) {
+  EXPECT_TRUE(op_add(Value::error(), Value::undefined()).is_error());
+}
+
+TEST(Value, ArithmeticOnStringsIsError) {
+  EXPECT_TRUE(op_add(Value::string("a"), Value::integer(1)).is_error());
+  EXPECT_TRUE(op_neg(Value::string("a")).is_error());
+}
+
+TEST(Value, NumericComparisons) {
+  EXPECT_TRUE(op_lt(Value::integer(1), Value::real(1.5)).as_boolean());
+  EXPECT_TRUE(op_le(Value::integer(2), Value::integer(2)).as_boolean());
+  EXPECT_FALSE(op_gt(Value::integer(2), Value::integer(2)).as_boolean());
+  EXPECT_TRUE(op_ge(Value::real(2.0), Value::integer(2)).as_boolean());
+  EXPECT_TRUE(op_eq(Value::integer(2), Value::real(2.0)).as_boolean());
+  EXPECT_TRUE(op_ne(Value::integer(2), Value::integer(3)).as_boolean());
+}
+
+TEST(Value, StringComparisonCaseInsensitive) {
+  EXPECT_TRUE(op_eq(Value::string("Node3"), Value::string("node3")).as_boolean());
+  EXPECT_TRUE(op_lt(Value::string("abc"), Value::string("ABD")).as_boolean());
+  EXPECT_TRUE(op_lt(Value::string("ab"), Value::string("abc")).as_boolean());
+}
+
+TEST(Value, MixedTypeComparisonIsError) {
+  EXPECT_TRUE(op_eq(Value::string("1"), Value::integer(1)).is_error());
+  EXPECT_TRUE(op_lt(Value::boolean(true), Value::integer(1)).is_error());
+}
+
+TEST(Value, ComparisonWithUndefinedIsUndefined) {
+  EXPECT_TRUE(op_eq(Value::undefined(), Value::integer(1)).is_undefined());
+  EXPECT_TRUE(op_lt(Value::integer(1), Value::undefined()).is_undefined());
+}
+
+TEST(Value, IsOperatorIsTotal) {
+  EXPECT_TRUE(op_is(Value::undefined(), Value::undefined()).as_boolean());
+  EXPECT_FALSE(op_is(Value::undefined(), Value::integer(1)).as_boolean());
+  EXPECT_TRUE(op_isnt(Value::undefined(), Value::integer(1)).as_boolean());
+  // Unlike ==, is distinguishes int from real.
+  EXPECT_FALSE(op_is(Value::integer(1), Value::real(1.0)).as_boolean());
+  EXPECT_TRUE(op_is(Value::string("A"), Value::string("a")).as_boolean());
+}
+
+TEST(Value, ThreeValuedAnd) {
+  const Value t = Value::boolean(true);
+  const Value f = Value::boolean(false);
+  const Value u = Value::undefined();
+  EXPECT_TRUE(op_and(t, t).as_boolean());
+  EXPECT_FALSE(op_and(t, f).as_boolean());
+  // false && undefined == false (short circuit), true && undefined == undefined
+  EXPECT_FALSE(op_and(f, u).as_boolean());
+  EXPECT_FALSE(op_and(u, f).as_boolean());
+  EXPECT_TRUE(op_and(t, u).is_undefined());
+  EXPECT_TRUE(op_and(u, u).is_undefined());
+}
+
+TEST(Value, ThreeValuedOr) {
+  const Value t = Value::boolean(true);
+  const Value f = Value::boolean(false);
+  const Value u = Value::undefined();
+  EXPECT_TRUE(op_or(f, t).as_boolean());
+  EXPECT_FALSE(op_or(f, f).as_boolean());
+  EXPECT_TRUE(op_or(t, u).as_boolean());
+  EXPECT_TRUE(op_or(u, t).as_boolean());
+  EXPECT_TRUE(op_or(f, u).is_undefined());
+}
+
+TEST(Value, NumbersAreTruthyInLogic) {
+  EXPECT_TRUE(op_and(Value::integer(5), Value::integer(1)).as_boolean());
+  EXPECT_FALSE(op_and(Value::integer(0), Value::integer(1)).as_boolean());
+  EXPECT_TRUE(op_not(Value::integer(0)).as_boolean());
+  EXPECT_FALSE(op_not(Value::real(0.5)).as_boolean());
+}
+
+TEST(Value, StringsAreLogicErrors) {
+  EXPECT_TRUE(op_and(Value::string("x"), Value::boolean(true)).is_error());
+  EXPECT_TRUE(op_not(Value::string("x")).is_error());
+}
+
+TEST(Value, IEquals) {
+  EXPECT_TRUE(iequals("Foo", "fOO"));
+  EXPECT_FALSE(iequals("foo", "foo "));
+  EXPECT_TRUE(iless("abc", "abD"));
+  EXPECT_FALSE(iless("b", "ABC"));
+}
+
+}  // namespace
+}  // namespace phisched::classad

@@ -1,0 +1,25 @@
+# Smoke: generate a job set, analyze it, and run an experiment on it.
+execute_process(
+  COMMAND ${CLI} --workload lowskew --jobs 25 --save-jobs ${WORKDIR}/smoke.jobs
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "save-jobs failed: ${rc}")
+endif()
+execute_process(
+  COMMAND ${JOBSTATS} ${WORKDIR}/smoke.jobs
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "jobstats failed: ${rc}")
+endif()
+if(NOT out MATCHES "25 jobs")
+  message(FATAL_ERROR "jobstats did not report 25 jobs: ${out}")
+endif()
+execute_process(
+  COMMAND ${CLI} --load-jobs ${WORKDIR}/smoke.jobs --stack MCC --nodes 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "load-jobs run failed: ${rc}")
+endif()
+if(NOT out MATCHES "25 completed")
+  message(FATAL_ERROR "experiment did not complete all jobs: ${out}")
+endif()

@@ -1,0 +1,121 @@
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "condor/ads.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+class NodeTest : public ::testing::Test {
+ protected:
+  Node make_node(int devices = 1, int slots = 16) {
+    NodeConfig config;
+    config.hw.phi_devices = devices;
+    config.hw.slots = slots;
+    return Node(sim_, 3, config, Rng(1));
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(NodeTest, Construction) {
+  Node node = make_node(2);
+  EXPECT_EQ(node.id(), 3);
+  EXPECT_EQ(node.device_count(), 2);
+  EXPECT_EQ(node.total_slots(), 16);
+  EXPECT_EQ(node.free_slots(), 16);
+  EXPECT_EQ(node.device(0).usable_memory(), 7680);
+  EXPECT_EQ(node.middleware().device_count(), 2u);
+}
+
+TEST_F(NodeTest, SlotAccounting) {
+  Node node = make_node();
+  node.claim_slot();
+  node.claim_slot();
+  EXPECT_EQ(node.free_slots(), 14);
+  node.release_slot();
+  EXPECT_EQ(node.free_slots(), 15);
+}
+
+TEST_F(NodeTest, SlotUnderflowAndOverflowThrow) {
+  Node node = make_node(1, 1);
+  node.claim_slot();
+  EXPECT_THROW(node.claim_slot(), std::invalid_argument);
+  node.release_slot();
+  EXPECT_THROW(node.release_slot(), std::invalid_argument);
+}
+
+TEST_F(NodeTest, ExclusiveDeviceTracking) {
+  Node node = make_node(2);
+  EXPECT_EQ(node.free_exclusive_devices(), 2);
+  EXPECT_EQ(node.pick_exclusive_device(), DeviceId{0});
+  bool admitted = false;
+  node.middleware().submit_job(1, DeviceId{0}, 1000, 60, 16, nullptr,
+                               [&] { admitted = true; });
+  ASSERT_TRUE(admitted);
+  EXPECT_EQ(node.free_exclusive_devices(), 1);
+  EXPECT_EQ(node.pick_exclusive_device(), DeviceId{1});
+  node.middleware().finish_job(1);
+  EXPECT_EQ(node.free_exclusive_devices(), 2);
+}
+
+TEST_F(NodeTest, MachineAdContents) {
+  Node node = make_node(2);
+  const classad::ClassAd ad = node.machine_ad();
+  EXPECT_EQ(ad.eval_string(condor::kAttrName), "node3");
+  EXPECT_EQ(ad.eval_integer(condor::kAttrTotalSlots), 16);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrFreeSlots), 16);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiDevices), 2);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiHwThreads), 240);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiFreeDevices), 2);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiFreeMemory), 7680);
+  EXPECT_EQ(ad.eval_integer(condor::per_device_memory_attr(0)), 7680);
+  EXPECT_EQ(ad.eval_integer(condor::per_device_memory_attr(1)), 7680);
+  EXPECT_EQ(ad.eval_integer(condor::per_device_threads_attr(0)), 240);
+}
+
+TEST_F(NodeTest, MachineAdTracksReservations) {
+  Node node = make_node();
+  bool admitted = false;
+  node.middleware().submit_job(1, DeviceId{0}, 3000, 300, 16, nullptr,
+                               [&] { admitted = true; });
+  ASSERT_TRUE(admitted);
+  node.claim_slot();
+  const classad::ClassAd ad = node.machine_ad();
+  EXPECT_EQ(ad.eval_integer(condor::kAttrFreeSlots), 15);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiFreeMemory), 4680);
+  EXPECT_EQ(ad.eval_integer(condor::kAttrPhiFreeDevices), 0);
+  // Over-reserved threads advertise negative so schedulers see residents.
+  EXPECT_EQ(ad.eval_integer(condor::per_device_threads_attr(0)), -60);
+}
+
+TEST_F(NodeTest, MachineRequirementsGateOnSlots) {
+  NodeConfig config;
+  config.hw.slots = 1;
+  Node node(sim_, 0, config, Rng(1));
+  classad::ClassAd job;
+  const classad::ClassAd before = node.machine_ad();
+  EXPECT_TRUE(classad::requirements_met(before, job));
+  node.claim_slot();
+  const classad::ClassAd after = node.machine_ad();
+  EXPECT_FALSE(classad::requirements_met(after, job));
+}
+
+TEST_F(NodeTest, InvalidConfigurationThrows) {
+  NodeConfig config;
+  config.hw.phi_devices = 0;
+  EXPECT_THROW(Node(sim_, 0, config, Rng(1)), std::invalid_argument);
+  config.hw.phi_devices = 1;
+  config.hw.slots = 0;
+  EXPECT_THROW(Node(sim_, 0, config, Rng(1)), std::invalid_argument);
+}
+
+TEST_F(NodeTest, DeviceIndexValidation) {
+  Node node = make_node(1);
+  EXPECT_THROW((void)node.device(1), std::invalid_argument);
+  EXPECT_THROW((void)node.device(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -1,0 +1,54 @@
+// The parallel sweep must be bit-identical to the serial one: every
+// simulation is self-contained, so threading cannot change results.
+#include <gtest/gtest.h>
+
+#include "cluster/footprint.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+TEST(ParallelSweep, MatchesSerialExactly) {
+  const auto jobs = workload::make_real_jobset(60, Rng(13).child("jobs"));
+  ExperimentConfig config;
+  config.stack = StackConfig::kMCCK;
+  const std::vector<std::size_t> sizes{1, 2, 3, 4};
+
+  const auto serial = makespan_by_size(config, jobs, sizes);
+  const auto parallel = makespan_by_size_parallel(config, jobs, sizes,
+                                                  /*max_threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, parallel[i].first);
+    EXPECT_DOUBLE_EQ(serial[i].second, parallel[i].second);
+  }
+}
+
+TEST(ParallelSweep, SingleThreadFallback) {
+  const auto jobs = workload::make_real_jobset(20, Rng(14).child("jobs"));
+  ExperimentConfig config;
+  config.stack = StackConfig::kMCC;
+  const auto result =
+      makespan_by_size_parallel(config, jobs, {2}, /*max_threads=*/1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].first, 2u);
+  EXPECT_GT(result[0].second, 0.0);
+}
+
+TEST(ParallelSweep, MoreThreadsThanWork) {
+  const auto jobs = workload::make_real_jobset(20, Rng(15).child("jobs"));
+  ExperimentConfig config;
+  const auto result =
+      makespan_by_size_parallel(config, jobs, {1, 2}, /*max_threads=*/16);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_GT(result[0].second, result[1].second);
+}
+
+TEST(ParallelSweep, EmptySizes) {
+  const auto jobs = workload::make_real_jobset(5, Rng(16).child("jobs"));
+  ExperimentConfig config;
+  EXPECT_TRUE(makespan_by_size_parallel(config, jobs, {}).empty());
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -1,0 +1,65 @@
+#include "cluster/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+ExperimentResult sample_result() {
+  ExperimentConfig config;
+  config.node_count = 2;
+  const auto jobs = workload::make_real_jobset(20, Rng(9).child("jobs"));
+  return run_experiment(config, jobs);
+}
+
+TEST(Report, FormatResultMentionsKeyMetrics) {
+  const std::string s = format_result(sample_result());
+  EXPECT_NE(s.find("makespan:"), std::string::npos);
+  EXPECT_NE(s.find("core utilization:"), std::string::npos);
+  EXPECT_NE(s.find("20 completed"), std::string::npos);
+  EXPECT_NE(s.find("negotiation cycles:"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableComputesReductions) {
+  ExperimentResult base;
+  base.makespan = 1000.0;
+  ExperimentResult better;
+  better.makespan = 750.0;
+  const AsciiTable table =
+      comparison_table({{"MC", base}, {"MCCK", better}});
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("25.0%"), std::string::npos);
+  EXPECT_NE(s.find("vs MC"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableRejectsEmpty) {
+  EXPECT_THROW((void)comparison_table({}), std::invalid_argument);
+}
+
+TEST(Report, CsvHasOneRowPerResult) {
+  const auto r = sample_result();
+  const CsvWriter csv = results_csv({{"a", r}, {"b", r}, {"c", r}});
+  const std::string s = csv.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);  // header + 3 rows
+  EXPECT_NE(s.find("configuration,makespan_s"), std::string::npos);
+}
+
+TEST(Report, UtilizationTableAddressesDevices) {
+  ExperimentResult r;
+  r.per_device_utilization = {0.5, 0.25, 0.75, 1.0};
+  const AsciiTable table = utilization_table(r, /*devices_per_node=*/2);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("mic0@node0"), std::string::npos);
+  EXPECT_NE(s.find("mic1@node1"), std::string::npos);
+  EXPECT_NE(s.find("75.0%"), std::string::npos);
+}
+
+TEST(Report, UtilizationTableRejectsBadDevicesPerNode) {
+  EXPECT_THROW((void)utilization_table(ExperimentResult{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

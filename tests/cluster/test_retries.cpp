@@ -1,0 +1,106 @@
+// On-failure retries: container-killed jobs are requeued with boosted
+// memory declarations until they fit or exhaust their retry budget.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+using workload::OffloadProfile;
+using workload::Segment;
+
+/// Declares 500 MiB but actually needs ~2 GiB: one retry at 2x boost
+/// (500 → 1000) still dies; the second (1000 → 2000) still dies; the
+/// third (2000 → 4000) survives.
+workload::JobSpec stubborn_liar(JobId id) {
+  workload::JobSpec job;
+  job.id = id;
+  job.mem_req_mib = 500;
+  job.threads_req = 60;
+  job.profile = OffloadProfile({Segment::offload(2.0, 60, 2100)});
+  return job;
+}
+
+TEST(Retries, DisabledByDefault) {
+  workload::JobSet jobs{stubborn_liar(0)};
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 1u);
+  EXPECT_EQ(r.job_retries, 0u);
+}
+
+TEST(Retries, BoostedRetriesEventuallySucceed) {
+  workload::JobSet jobs{stubborn_liar(0)};
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.max_retries = 3;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 0u);
+  EXPECT_EQ(r.jobs_completed, 1u);
+  EXPECT_EQ(r.job_retries, 3u);
+  EXPECT_EQ(r.container_kills, 3u);
+}
+
+TEST(Retries, BudgetExhaustedStillFails) {
+  workload::JobSet jobs{stubborn_liar(0)};
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.max_retries = 2;  // 500 → 1000 → 2000: still below 2116 actual
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 1u);
+  EXPECT_EQ(r.job_retries, 2u);
+}
+
+TEST(Retries, WorksUnderTheKnapsackStack) {
+  workload::JobSet jobs;
+  jobs.push_back(stubborn_liar(0));
+  // Mix in honest jobs to verify the retried job coexists with packing.
+  for (JobId id = 1; id < 8; ++id) {
+    workload::JobSpec job;
+    job.id = id;
+    job.mem_req_mib = 1000;
+    job.threads_req = 60;
+    job.profile = OffloadProfile({Segment::offload(3.0, 60, 800)});
+    jobs.push_back(job);
+  }
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.stack = StackConfig::kMCCK;
+  config.max_retries = 3;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_completed, 8u);
+  EXPECT_EQ(r.jobs_failed, 0u);
+  EXPECT_GE(r.addon_pins, 8u + 3u);  // each retry is pinned afresh
+}
+
+TEST(Retries, BoostFactorOneRetriesInVain) {
+  workload::JobSet jobs{stubborn_liar(0)};
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.max_retries = 2;
+  config.retry_memory_boost = 1.0;  // same declaration every time
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 1u);
+  EXPECT_EQ(r.job_retries, 2u);
+  EXPECT_EQ(r.container_kills, 3u);  // initial + 2 futile retries
+}
+
+TEST(Retries, HonestJobsNeverRetry) {
+  const auto jobs = workload::make_real_jobset(30, Rng(5).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.max_retries = 5;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_EQ(r.job_retries, 0u);
+  EXPECT_EQ(r.jobs_completed, 30u);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

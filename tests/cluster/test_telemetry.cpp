@@ -1,0 +1,64 @@
+// Utilization time-series sampling (ExperimentConfig::sample_interval).
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+TEST(Telemetry, DisabledByDefault) {
+  const auto jobs = workload::make_real_jobset(10, Rng(1).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 1;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_TRUE(r.utilization_series.empty());
+}
+
+TEST(Telemetry, SamplesAtTheRequestedCadence) {
+  const auto jobs = workload::make_real_jobset(30, Rng(2).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.sample_interval = 10.0;
+  const auto r = run_experiment(config, jobs);
+  ASSERT_FALSE(r.utilization_series.empty());
+  // Samples are every 10 s starting at 10, all within the makespan + one
+  // interval, with fractions in [0, 1].
+  SimTime expected = 10.0;
+  for (const auto& [t, u] : r.utilization_series) {
+    EXPECT_DOUBLE_EQ(t, expected);
+    expected += 10.0;
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GE(r.utilization_series.back().first, r.makespan - 10.0);
+  EXPECT_LE(r.utilization_series.back().first, r.makespan + 10.0);
+}
+
+TEST(Telemetry, SamplingDoesNotChangeResults) {
+  const auto jobs = workload::make_real_jobset(40, Rng(3).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.stack = StackConfig::kMCCK;
+  const auto plain = run_experiment(config, jobs);
+  config.sample_interval = 7.0;
+  const auto sampled = run_experiment(config, jobs);
+  EXPECT_DOUBLE_EQ(plain.makespan, sampled.makespan);
+  EXPECT_DOUBLE_EQ(plain.avg_core_utilization, sampled.avg_core_utilization);
+  EXPECT_EQ(plain.offloads_started, sampled.offloads_started);
+}
+
+TEST(Telemetry, BusySamplesReflectLoad) {
+  const auto jobs = workload::make_real_jobset(60, Rng(4).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.sample_interval = 5.0;
+  const auto r = run_experiment(config, jobs);
+  double peak = 0.0;
+  for (const auto& [t, u] : r.utilization_series) peak = std::max(peak, u);
+  EXPECT_GT(peak, 0.5);  // a loaded shared device gets busy
+}
+
+}  // namespace
+}  // namespace phisched::cluster

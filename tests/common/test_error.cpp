@@ -1,0 +1,37 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(PHISCHED_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Error, CheckThrowsInternalError) {
+  EXPECT_THROW(PHISCHED_CHECK(false, "boom"), InternalError);
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(PHISCHED_REQUIRE(false, "bad arg"), std::invalid_argument);
+}
+
+TEST(Error, MessagesCarryContext) {
+  try {
+    PHISCHED_CHECK(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, InternalErrorIsLogicError) {
+  EXPECT_THROW(PHISCHED_CHECK(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace phisched

@@ -1,0 +1,58 @@
+#include "common/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched {
+namespace {
+
+TEST(Quantize, UpRoundsToNextMultiple) {
+  EXPECT_EQ(quantize_up(0), 0);
+  EXPECT_EQ(quantize_up(1), 50);
+  EXPECT_EQ(quantize_up(50), 50);
+  EXPECT_EQ(quantize_up(51), 100);
+  EXPECT_EQ(quantize_up(3400), 3400);
+  EXPECT_EQ(quantize_up(3401), 3450);
+}
+
+TEST(Quantize, DownRoundsToPreviousMultiple) {
+  EXPECT_EQ(quantize_down(0), 0);
+  EXPECT_EQ(quantize_down(49), 0);
+  EXPECT_EQ(quantize_down(50), 50);
+  EXPECT_EQ(quantize_down(99), 50);
+  EXPECT_EQ(quantize_down(8192), 8150);
+}
+
+TEST(Quantize, CustomQuantum) {
+  EXPECT_EQ(quantize_up(7, 4), 8);
+  EXPECT_EQ(quantize_down(7, 4), 4);
+}
+
+TEST(Quantize, BucketCountMatchesPaper) {
+  // Section IV-C: 8 GB / 50 MB = 160 buckets.
+  EXPECT_EQ(bucket_count(8000), 160);
+  EXPECT_EQ(bucket_count(8192), 163);  // floor(8192/50)
+}
+
+TEST(Quantize, RejectsBadArguments) {
+  EXPECT_THROW((void)quantize_up(10, 0), std::invalid_argument);
+  EXPECT_THROW((void)quantize_up(-1), std::invalid_argument);
+  EXPECT_THROW((void)quantize_down(10, -5), std::invalid_argument);
+}
+
+class QuantizeProperty : public ::testing::TestWithParam<MiB> {};
+
+TEST_P(QuantizeProperty, UpDownSandwich) {
+  const MiB v = GetParam();
+  EXPECT_LE(quantize_down(v), v);
+  EXPECT_GE(quantize_up(v), v);
+  EXPECT_EQ(quantize_up(v) % kMemoryQuantumMiB, 0);
+  EXPECT_EQ(quantize_down(v) % kMemoryQuantumMiB, 0);
+  EXPECT_LE(quantize_up(v) - quantize_down(v), kMemoryQuantumMiB);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantizeProperty,
+                         ::testing::Values(0, 1, 49, 50, 51, 99, 100, 123,
+                                           1024, 3399, 3400, 8191, 8192));
+
+}  // namespace
+}  // namespace phisched

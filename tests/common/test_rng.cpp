@@ -1,0 +1,159 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace phisched {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(Rng, ChildStreamsAreIndependentOfParentDraws) {
+  Rng parent(7);
+  Rng child_before = parent.child("stream");
+  // Drawing from the parent must not change what the child produces.
+  (void)parent.uniform_int(0, 100);
+  (void)parent.uniform_real(0.0, 1.0);
+  Rng child_after = parent.child("stream");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_before.uniform_int(0, 1'000'000),
+              child_after.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, ChildLabelsProduceDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.child("alpha");
+  Rng b = parent.child("beta");
+  EXPECT_NE(a.seed(), b.seed());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.truncated_normal(0.5, 0.2, 0.0, 1.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateFallsBackToClamp) {
+  Rng rng(13);
+  // Mean far outside the window: rejection will fail, clamping applies.
+  const double x = rng.truncated_normal(100.0, 0.001, 0.0, 1.0);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 1.0);
+}
+
+TEST(Rng, TruncatedNormalRoughlyCentred) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.truncated_normal(0.5, 0.15, 0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, IndexWithinRange) {
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t x = rng.index(5);
+    EXPECT_LT(x, 5u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit eventually
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(23);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, HashLabelStable) {
+  EXPECT_EQ(hash_label("device0"), hash_label("device0"));
+  EXPECT_NE(hash_label("device0"), hash_label("device1"));
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the canonical SplitMix64 implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v = splitmix64(state);
+  EXPECT_EQ(state, 0x9E3779B97F4A7C15ULL);
+  EXPECT_NE(v, 0u);
+}
+
+}  // namespace
+}  // namespace phisched

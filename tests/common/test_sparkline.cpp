@@ -1,0 +1,58 @@
+#include "common/sparkline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched {
+namespace {
+
+TEST(Sparkline, EmptyInput) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_EQ(sparkline({}, 0.0, 1.0, 10), "");
+}
+
+TEST(Sparkline, RampUsesFullGlyphRange) {
+  const std::string s = sparkline({0.0, 0.25, 0.5, 0.75, 1.0}, 0.0, 1.0, 5);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.front(), ' ');   // bottom of the ramp
+  EXPECT_EQ(s[2], '+');        // midpoint glyph
+  EXPECT_EQ(s.back(), '@');    // top of the ramp
+}
+
+TEST(Sparkline, AutoScaleUsesMinMax) {
+  const std::string s = sparkline({10.0, 20.0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[1], '@');
+}
+
+TEST(Sparkline, ConstantSignalRendersLow) {
+  // Degenerate range: everything maps to the bottom glyph.
+  const std::string s = sparkline({5.0, 5.0, 5.0});
+  EXPECT_EQ(s, "   ");
+}
+
+TEST(Sparkline, ResamplesToWidth) {
+  std::vector<double> values(100, 0.0);
+  for (std::size_t i = 50; i < 100; ++i) values[i] = 1.0;
+  const std::string s = sparkline(values, 0.0, 1.0, 10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.substr(0, 5), "     ");
+  EXPECT_EQ(s.substr(5, 5), "@@@@@");
+}
+
+TEST(Sparkline, ShortInputKeepsOneCharPerSample) {
+  EXPECT_EQ(sparkline({0.0, 1.0}, 0.0, 1.0, 80).size(), 2u);
+}
+
+TEST(Sparkline, ClampsOutOfRange) {
+  const std::string s = sparkline({-10.0, 10.0}, 0.0, 1.0, 2);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[1], '@');
+}
+
+TEST(Sparkline, ZeroWidthThrows) {
+  EXPECT_THROW((void)sparkline({1.0}, 0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace phisched {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Name        | Value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(s.find("|-------------|-------|"), std::string::npos);
+}
+
+TEST(AsciiTable, CellFormatting) {
+  EXPECT_EQ(AsciiTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::cell(std::int64_t{42}), "42");
+  EXPECT_EQ(AsciiTable::percent(0.375), "37.5%");
+  EXPECT_EQ(AsciiTable::percent(0.5, 0), "50%");
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, PlainValues) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.to_string(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  CsvWriter csv({"text"});
+  csv.add_row({"hello, world"});
+  csv.add_row({"say \"hi\""});
+  csv.add_row({"two\nlines"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"two\nlines\""), std::string::npos);
+}
+
+TEST(CsvWriter, WritesFile) {
+  CsvWriter csv({"a"});
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/phisched_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir/x/y.csv"));
+}
+
+}  // namespace
+}  // namespace phisched

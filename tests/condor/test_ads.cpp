@@ -1,0 +1,79 @@
+#include "condor/ads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/jobspec.hpp"
+
+namespace phisched::condor {
+namespace {
+
+workload::JobSpec job_spec() {
+  workload::JobSpec job;
+  job.id = 17;
+  job.mem_req_mib = 1500;
+  job.threads_req = 120;
+  return job;
+}
+
+TEST(Ads, MachineNameFormat) {
+  EXPECT_EQ(machine_name(0), "node0");
+  EXPECT_EQ(machine_name(12), "node12");
+}
+
+TEST(Ads, PerDeviceAttrNames) {
+  EXPECT_EQ(per_device_memory_attr(0), "PhiFreeMemory0");
+  EXPECT_EQ(per_device_threads_attr(1), "PhiFreeThreads1");
+}
+
+TEST(Ads, JobAdCarriesDeclaredRequirements) {
+  const auto ad = make_job_ad(job_spec(), sharing_requirements());
+  EXPECT_EQ(ad.eval_integer(kAttrJobId), 17);
+  EXPECT_EQ(ad.eval_integer(kAttrRequestPhiMemory), 1500);
+  EXPECT_EQ(ad.eval_integer(kAttrRequestPhiThreads), 120);
+  EXPECT_EQ(ad.eval_integer(kAttrRequestPhiDevices), 1);
+  EXPECT_TRUE(ad.has(kAttrRequirements));
+}
+
+classad::ClassAd machine(std::int64_t free_mem, std::int64_t free_devices,
+                         std::int64_t free_slots, const char* name = "node0") {
+  classad::ClassAd ad;
+  ad.insert_string(kAttrName, name);
+  ad.insert_integer(kAttrPhiFreeMemory, free_mem);
+  ad.insert_integer(kAttrPhiFreeDevices, free_devices);
+  ad.insert_integer(kAttrFreeSlots, free_slots);
+  return ad;
+}
+
+TEST(Ads, ExclusiveRequirementsNeedWholeDevice) {
+  const auto ad = make_job_ad(job_spec(), exclusive_requirements());
+  EXPECT_TRUE(classad::requirements_met(ad, machine(8000, 1, 4)));
+  EXPECT_FALSE(classad::requirements_met(ad, machine(8000, 0, 4)));
+  EXPECT_FALSE(classad::requirements_met(ad, machine(8000, 1, 0)));
+}
+
+TEST(Ads, SharingRequirementsCheckMemory) {
+  const auto ad = make_job_ad(job_spec(), sharing_requirements());
+  EXPECT_TRUE(classad::requirements_met(ad, machine(1500, 0, 1)));
+  EXPECT_FALSE(classad::requirements_met(ad, machine(1499, 0, 1)));
+  EXPECT_FALSE(classad::requirements_met(ad, machine(1500, 0, 0)));
+}
+
+TEST(Ads, ArbitraryRequirementsIgnoreMemory) {
+  const auto ad = make_job_ad(job_spec(), arbitrary_requirements());
+  EXPECT_TRUE(classad::requirements_met(ad, machine(0, 0, 1)));
+  EXPECT_FALSE(classad::requirements_met(ad, machine(0, 0, 0)));
+}
+
+TEST(Ads, PinnedRequirementsMatchOnlyThatNode) {
+  const auto ad = make_job_ad(job_spec(), pinned_requirements(3));
+  EXPECT_TRUE(
+      classad::requirements_met(ad, machine(4000, 0, 1, "node3")));
+  EXPECT_FALSE(
+      classad::requirements_met(ad, machine(4000, 0, 1, "node4")));
+  // Memory guard survives the pin.
+  EXPECT_FALSE(
+      classad::requirements_met(ad, machine(1000, 0, 1, "node3")));
+}
+
+}  // namespace
+}  // namespace phisched::condor

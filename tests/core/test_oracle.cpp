@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "core/policy.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::core {
+namespace {
+
+PendingJobView job(JobId id, MiB mem, ThreadCount threads, SimTime duration) {
+  PendingJobView v{id, mem, threads};
+  v.expected_duration = duration;
+  return v;
+}
+
+DeviceView device(NodeId node, MiB free) {
+  DeviceView v;
+  v.addr = DeviceAddress{node, 0};
+  v.free_memory_mib = free;
+  v.thread_budget = 240;
+  v.hw_threads = 240;
+  return v;
+}
+
+TEST(OracleLpt, LongestJobsSpreadAcrossDevices) {
+  auto policy = make_oracle_lpt_policy();
+  const std::vector<PendingJobView> pending = {
+      job(1, 1000, 60, 100.0), job(2, 1000, 60, 90.0), job(3, 1000, 60, 10.0),
+      job(4, 1000, 60, 5.0)};
+  const std::vector<DeviceView> devices = {device(0, 7680), device(1, 7680)};
+  const auto assignments = policy->assign(pending, devices);
+  ASSERT_EQ(assignments.size(), 4u);
+  // The two long jobs must land on different devices.
+  DeviceAddress a1;
+  DeviceAddress a2;
+  for (const auto& a : assignments) {
+    if (a.job == 1) a1 = a.device;
+    if (a.job == 2) a2 = a.device;
+  }
+  EXPECT_NE(a1, a2);
+}
+
+TEST(OracleLpt, BalancesTotalDuration) {
+  auto policy = make_oracle_lpt_policy();
+  // Durations 8,7,6,5,4,3: LPT over 2 devices → loads {8+5+3, 7+6+4} = 16/17.
+  std::vector<PendingJobView> pending;
+  for (JobId i = 0; i < 6; ++i) {
+    pending.push_back(job(i, 100, 60, 8.0 - static_cast<double>(i)));
+  }
+  const std::vector<DeviceView> devices = {device(0, 7680), device(1, 7680)};
+  const auto assignments = policy->assign(pending, devices);
+  std::map<NodeId, double> load;
+  for (const auto& a : assignments) {
+    load[a.device.node] += pending[a.job].expected_duration;
+  }
+  EXPECT_NEAR(load[0], load[1], 1.5);
+}
+
+TEST(OracleLpt, RespectsMemoryCapacity) {
+  auto policy = make_oracle_lpt_policy();
+  const std::vector<PendingJobView> pending = {
+      job(1, 5000, 60, 10.0), job(2, 5000, 60, 9.0), job(3, 5000, 60, 8.0)};
+  const std::vector<DeviceView> devices = {device(0, 7680)};
+  const auto assignments = policy->assign(pending, devices);
+  EXPECT_EQ(assignments.size(), 1u);  // only one 5000 MiB job fits
+}
+
+TEST(OracleLpt, UnknownDurationsGoLast) {
+  auto policy = make_oracle_lpt_policy();
+  std::vector<PendingJobView> pending = {job(1, 1000, 60, -1.0),
+                                         job(2, 1000, 60, 50.0)};
+  const std::vector<DeviceView> devices = {device(0, 1500)};
+  const auto assignments = policy->assign(pending, devices);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].job, 2u);  // the known-long job won the space
+}
+
+TEST(OracleLpt, Name) {
+  EXPECT_EQ(make_oracle_lpt_policy()->name(), "oracle-lpt");
+}
+
+TEST(OracleStack, RunsEndToEndAndIsCompetitive) {
+  const auto jobs = workload::make_real_jobset(80, Rng(31).child("jobs"));
+  cluster::ExperimentConfig config;
+  config.node_count = 4;
+  config.stack = cluster::StackConfig::kMCCOracle;
+  const auto oracle = cluster::run_experiment(config, jobs);
+  EXPECT_EQ(oracle.jobs_completed, 80u);
+  EXPECT_EQ(oracle.addon_pins, 80u);
+
+  config.stack = cluster::StackConfig::kMC;
+  const auto mc = cluster::run_experiment(config, jobs);
+  // The informed baseline must at least beat exclusive allocation.
+  EXPECT_LT(oracle.makespan, mc.makespan);
+}
+
+}  // namespace
+}  // namespace phisched::core

@@ -1,0 +1,63 @@
+// Whole-stack determinism: identical (seed, job set, config) must replay
+// bit-identically — the property every experiment in EXPERIMENTS.md
+// relies on.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<StackConfig> {};
+
+TEST_P(DeterminismTest, RepeatedRunsAreIdentical) {
+  const auto jobs = workload::make_real_jobset(40, Rng(17).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 3;
+  config.stack = GetParam();
+  config.seed = 99;
+
+  const ExperimentResult a = run_experiment(config, jobs);
+  const ExperimentResult b = run_experiment(config, jobs);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_core_utilization, b.avg_core_utilization);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.offloads_started, b.offloads_started);
+  EXPECT_EQ(a.offloads_queued, b.offloads_queued);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.per_device_utilization, b.per_device_utilization);
+}
+
+TEST_P(DeterminismTest, SeedChangesRandomizedStacks) {
+  const auto jobs = workload::make_synthetic_jobset(
+      workload::Distribution::kUniform, 60, Rng(3).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 3;
+  config.stack = GetParam();
+  config.seed = 1;
+  const ExperimentResult a = run_experiment(config, jobs);
+  config.seed = 2;
+  const ExperimentResult b = run_experiment(config, jobs);
+  // Same workload, different seed: jobs all complete either way.
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stacks, DeterminismTest,
+    ::testing::Values(StackConfig::kMC, StackConfig::kMCC, StackConfig::kMCCK),
+    [](const auto& info) { return stack_config_name(info.param); });
+
+TEST(Determinism, WorkloadGenerationIsPure) {
+  const auto a = workload::make_real_jobset(100, Rng(5).child("x"));
+  const auto b = workload::make_real_jobset(100, Rng(5).child("x"));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mem_req_mib, b[i].mem_req_mib);
+    EXPECT_EQ(a[i].threads_req, b[i].threads_req);
+    EXPECT_DOUBLE_EQ(a[i].profile.total_duration(),
+                     b[i].profile.total_duration());
+  }
+}
+
+}  // namespace
+}  // namespace phisched::cluster

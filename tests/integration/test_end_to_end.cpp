@@ -1,0 +1,140 @@
+// End-to-end behavioural checks of the full stack at experiment scale:
+// the paper's qualitative claims on small-but-representative job sets.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+TEST(EndToEnd, PaperOrderingHoldsOnRealWorkload) {
+  // MC > MCC > MCCK in makespan on a Table I job set (8-node cluster).
+  const auto jobs = workload::make_real_jobset(200, Rng(42).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 8;
+
+  config.stack = StackConfig::kMC;
+  const auto mc = run_experiment(config, jobs);
+  config.stack = StackConfig::kMCC;
+  const auto mcc = run_experiment(config, jobs);
+  config.stack = StackConfig::kMCCK;
+  const auto mcck = run_experiment(config, jobs);
+
+  EXPECT_LT(mcc.makespan, mc.makespan);
+  EXPECT_LT(mcck.makespan, mcc.makespan);
+  // Reductions in the paper's ballpark (more than 15%, less than 70%).
+  EXPECT_LT(mcck.makespan, 0.85 * mc.makespan);
+  EXPECT_GT(mcck.makespan, 0.30 * mc.makespan);
+}
+
+TEST(EndToEnd, ExclusiveUtilizationNearPaperRange) {
+  // Section III: 38%-63% core utilization under the exclusive policy.
+  const auto jobs = workload::make_real_jobset(200, Rng(42).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.stack = StackConfig::kMC;
+  const auto r = run_experiment(config, jobs);
+  EXPECT_GT(r.avg_core_utilization, 0.35);
+  EXPECT_LT(r.avg_core_utilization, 0.65);
+}
+
+TEST(EndToEnd, SharingRaisesUtilization) {
+  const auto jobs = workload::make_real_jobset(200, Rng(42).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 8;
+  config.stack = StackConfig::kMC;
+  const double mc_util = run_experiment(config, jobs).avg_core_utilization;
+  config.stack = StackConfig::kMCC;
+  const double mcc_util = run_experiment(config, jobs).avg_core_utilization;
+  EXPECT_GT(mcc_util, mc_util + 0.1);
+}
+
+TEST(EndToEnd, NoSafetyViolationsUnderAnyStack) {
+  // Truthful declarations + COSMIC/knapsack discipline: nothing is ever
+  // killed, in any configuration, across distributions.
+  for (const auto dist : workload::all_distributions()) {
+    const auto jobs =
+        workload::make_synthetic_jobset(dist, 80, Rng(7).child("syn"));
+    for (const auto stack :
+         {StackConfig::kMC, StackConfig::kMCC, StackConfig::kMCCK}) {
+      ExperimentConfig config;
+      config.node_count = 4;
+      config.stack = stack;
+      const auto r = run_experiment(config, jobs);
+      EXPECT_EQ(r.jobs_failed, 0u)
+          << stack_config_name(stack) << "/"
+          << workload::distribution_name(dist);
+      EXPECT_EQ(r.oom_kills, 0u);
+      EXPECT_EQ(r.container_kills, 0u);
+      EXPECT_EQ(r.jobs_completed, jobs.size());
+    }
+  }
+}
+
+TEST(EndToEnd, HighSkewBenefitsLessThanLowSkew) {
+  // Section V-B: sharing gains shrink when most jobs are big.
+  ExperimentConfig config;
+  config.node_count = 8;
+  auto gain = [&](workload::Distribution dist) {
+    const auto jobs =
+        workload::make_synthetic_jobset(dist, 120, Rng(11).child("syn"));
+    config.stack = StackConfig::kMC;
+    const double mc = run_experiment(config, jobs).makespan;
+    config.stack = StackConfig::kMCCK;
+    const double mcck = run_experiment(config, jobs).makespan;
+    return 1.0 - mcck / mc;
+  };
+  EXPECT_GT(gain(workload::Distribution::kLowSkew),
+            gain(workload::Distribution::kHighSkew));
+}
+
+TEST(EndToEnd, KnapsackQueuesFewerOffloadsThanRandom) {
+  // The concurrency discipline: MCCK's thread-aware packs wait far less
+  // in COSMIC's offload queue than MCC's arbitrary packs.
+  const auto jobs = workload::make_real_jobset(200, Rng(21).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 4;
+  config.stack = StackConfig::kMCC;
+  const auto mcc = run_experiment(config, jobs);
+  config.stack = StackConfig::kMCCK;
+  const auto mcck = run_experiment(config, jobs);
+  EXPECT_LT(mcck.offloads_queued, mcc.offloads_queued);
+}
+
+TEST(EndToEnd, DispatchLatencyDelaysFirstStart) {
+  workload::JobSet jobs;
+  workload::JobSpec job;
+  job.id = 0;
+  job.mem_req_mib = 500;
+  job.threads_req = 60;
+  job.profile =
+      workload::OffloadProfile({workload::Segment::offload(5.0, 60, 400)});
+  jobs.push_back(job);
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.dispatch_latency = 0.5;
+  const auto r = run_experiment(config, jobs);
+  // First cycle at t=0, dispatch latency 0.5, offload 5.0 → makespan 5.5.
+  EXPECT_DOUBLE_EQ(r.makespan, 5.5);
+}
+
+TEST(EndToEnd, NegotiationIntervalGatesThroughput) {
+  // With one slot, each later job must wait for a cycle: lengthening the
+  // cycle lengthens the makespan.
+  const auto jobs = workload::make_real_jobset(10, Rng(5).child("jobs"));
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.node_hw.slots = 1;
+  config.stack = StackConfig::kMCC;
+  config.negotiation_interval = 5.0;
+  const double fast = run_experiment(config, jobs).makespan;
+  config.negotiation_interval = 50.0;
+  config.dispatch_latency = 0.5;
+  const double slow = run_experiment(config, jobs).makespan;
+  EXPECT_GT(slow, fast + 100.0);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -1,0 +1,118 @@
+// Failure injection: jobs that lie about their memory requirements.
+// COSMIC's containers terminate the liars; honest jobs are unaffected and
+// the cluster drains cleanly (paper Section IV-D2: the knapsack "cannot
+// compensate for a user's mistakes", COSMIC does).
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+using workload::OffloadProfile;
+using workload::Segment;
+
+workload::JobSpec honest_job(JobId id) {
+  workload::JobSpec job;
+  job.id = id;
+  job.mem_req_mib = 1000;
+  job.threads_req = 60;
+  job.profile = OffloadProfile({Segment::offload(3.0, 60, 800),
+                                Segment::host(2.0),
+                                Segment::offload(3.0, 60, 800)});
+  return job;
+}
+
+workload::JobSpec lying_job(JobId id) {
+  workload::JobSpec job;
+  job.id = id;
+  job.mem_req_mib = 500;  // declares 500 MiB...
+  job.threads_req = 60;
+  job.profile = OffloadProfile({Segment::offload(3.0, 60, 400),
+                                Segment::host(1.0),
+                                Segment::offload(3.0, 60, 3000)});  // ...uses 3 GiB
+  return job;
+}
+
+class FailureInjection : public ::testing::TestWithParam<StackConfig> {};
+
+TEST_P(FailureInjection, LiarsAreKilledHonestJobsComplete) {
+  workload::JobSet jobs;
+  for (JobId id = 0; id < 12; ++id) {
+    jobs.push_back(id % 4 == 0 ? lying_job(id) : honest_job(id));
+  }
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.stack = GetParam();
+  const ExperimentResult r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 3u);
+  EXPECT_EQ(r.jobs_completed, 9u);
+  EXPECT_EQ(r.container_kills, 3u);
+  EXPECT_EQ(r.oom_kills, 0u);  // containers caught the lie before OOM
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SharingStacks, FailureInjection,
+    ::testing::Values(StackConfig::kMCC, StackConfig::kMCCK),
+    [](const auto& info) {
+      return std::string(stack_config_name(info.param)) == "MCCK" ? "MCCK"
+                                                                  : "MCC";
+    });
+
+TEST(FailureInjectionMc, ExclusiveModeToleratesLiesThatFitTheCard) {
+  // Without COSMIC, a lying job is only punished if it physically
+  // oversubscribes the card — alone on a device, 3 GiB actual fits.
+  workload::JobSet jobs;
+  for (JobId id = 0; id < 4; ++id) jobs.push_back(lying_job(id));
+  ExperimentConfig config;
+  config.node_count = 2;
+  config.stack = StackConfig::kMC;
+  const ExperimentResult r = run_experiment(config, jobs);
+  EXPECT_EQ(r.jobs_failed, 0u);
+  EXPECT_EQ(r.jobs_completed, 4u);
+}
+
+TEST(FailureInjectionOom, UnprotectedSharingTriggersOomKills) {
+  // Sharing with containers disabled models raw MPSS multiprocessing:
+  // when the liars' actual usage oversubscribes physical memory, the OOM
+  // killer terminates processes (paper Section II-C).
+  workload::JobSet jobs;
+  for (JobId id = 0; id < 12; ++id) {
+    workload::JobSpec job;
+    job.id = id;
+    job.mem_req_mib = 600;  // all twelve "fit" by declaration
+    job.threads_req = 60;
+    job.profile = OffloadProfile({Segment::offload(5.0, 60, 3500)});
+    jobs.push_back(job);
+  }
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  config.disable_containers_for_testing = true;
+  const ExperimentResult r = run_experiment(config, jobs);
+  EXPECT_GT(r.oom_kills, 0u);
+  EXPECT_EQ(r.jobs_completed + r.jobs_failed, 12u);
+  EXPECT_GT(r.jobs_completed, 0u);  // survivors finish
+}
+
+TEST(FailureInjectionOom, ContainersPreventTheSameOomScenario) {
+  workload::JobSet jobs;
+  for (JobId id = 0; id < 12; ++id) {
+    workload::JobSpec job;
+    job.id = id;
+    job.mem_req_mib = 600;
+    job.threads_req = 60;
+    job.profile = OffloadProfile({Segment::offload(5.0, 60, 3500)});
+    jobs.push_back(job);
+  }
+  ExperimentConfig config;
+  config.node_count = 1;
+  config.stack = StackConfig::kMCC;
+  const ExperimentResult r = run_experiment(config, jobs);
+  EXPECT_EQ(r.oom_kills, 0u);  // container kills fire first
+  EXPECT_EQ(r.container_kills, 12u);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -1,0 +1,129 @@
+#include "knapsack/dp1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "knapsack/value.hpp"
+
+namespace phisched::knapsack {
+namespace {
+
+Item item(MiB weight, ThreadCount threads, double value) {
+  Item it;
+  it.weight_mib = weight;
+  it.threads = threads;
+  it.value = value;
+  return it;
+}
+
+TEST(Dp1D, EmptyProblem) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  EXPECT_TRUE(solver.solve(p).empty());
+}
+
+TEST(Dp1D, ZeroCapacity) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 0;
+  p.items.push_back(item(100, 60, 1.0));
+  EXPECT_TRUE(solver.solve(p).empty());
+}
+
+TEST(Dp1D, PacksEverythingWhenItFits) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  p.items = {item(1000, 60, 1.0), item(2000, 60, 1.0), item(3000, 60, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.value, 3.0);
+  EXPECT_EQ(s.threads, 180);
+}
+
+TEST(Dp1D, ClassicKnapsackOptimum) {
+  // Weights 10,20,30 (x100 MiB), values 60,100,120, capacity 50:
+  // optimum = items 2+3 with value 220.
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 5000;
+  p.quantum_mib = 100;
+  p.thread_capacity = 10000;  // threads irrelevant here
+  p.items = {item(1000, 1, 60.0), item(2000, 1, 100.0), item(3000, 1, 120.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.value, 220.0);
+}
+
+TEST(Dp1D, ThreadRuleExcludesOverflowingSets) {
+  // Two jobs fit in memory but not in threads: the value-zero rule keeps
+  // the packed set thread-feasible.
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  p.thread_capacity = 240;
+  p.items = {item(1000, 180, 0.44), item(1000, 180, 0.44),
+             item(1000, 60, 0.94)};
+  const Solution s = solver.solve(p);
+  EXPECT_LE(s.threads, 240);
+  // Best feasible: one 180 + the 60.
+  EXPECT_DOUBLE_EQ(s.value, 0.44 + 0.94);
+}
+
+TEST(Dp1D, WeightsRoundUpToQuantum) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 100;
+  p.quantum_mib = 50;
+  // 60 MiB rounds up to 100: only one fits.
+  p.items = {item(60, 10, 1.0), item(60, 10, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks.size(), 1u);
+}
+
+TEST(Dp1D, PrefersManyNarrowJobsUnderPaperValues) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 4000;
+  p.thread_capacity = 240;
+  // One wide job vs four narrow jobs of the same total memory.
+  p.items = {item(4000, 240, job_value(ValueFunction::kPaperQuadratic, 240, 240)),
+             item(1000, 60, job_value(ValueFunction::kPaperQuadratic, 60, 240)),
+             item(1000, 60, job_value(ValueFunction::kPaperQuadratic, 60, 240)),
+             item(1000, 60, job_value(ValueFunction::kPaperQuadratic, 60, 240)),
+             item(1000, 60, job_value(ValueFunction::kPaperQuadratic, 60, 240))};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks.size(), 4u);  // the four narrow jobs
+  EXPECT_EQ(s.threads, 240);
+}
+
+TEST(Dp1D, OversizedItemIgnored) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.items = {item(2000, 60, 5.0), item(500, 60, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{1}));
+}
+
+TEST(Dp1D, SolutionReportsQuantizedWeight) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.items = {item(120, 60, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.weight_mib, 150);  // 120 rounded up to the 50 MiB grid
+}
+
+TEST(Dp1D, ZeroWeightItemRejected) {
+  Dp1DSolver solver;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.items = {item(0, 60, 1.0)};
+  EXPECT_THROW((void)solver.solve(p), std::invalid_argument);
+}
+
+TEST(Dp1D, Name) { EXPECT_EQ(Dp1DSolver().name(), "dp1d"); }
+
+}  // namespace
+}  // namespace phisched::knapsack

@@ -1,0 +1,95 @@
+#include "knapsack/dp2d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::knapsack {
+namespace {
+
+Item item(MiB weight, ThreadCount threads, double value) {
+  Item it;
+  it.weight_mib = weight;
+  it.threads = threads;
+  it.value = value;
+  return it;
+}
+
+TEST(Dp2D, EmptyProblem) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  EXPECT_TRUE(solver.solve(p).empty());
+}
+
+TEST(Dp2D, RespectsBothConstraints) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 3000;
+  p.thread_capacity = 240;
+  p.items = {item(1000, 120, 1.0), item(1000, 120, 1.0), item(1000, 120, 1.0),
+             item(1000, 120, 1.0)};
+  const Solution s = solver.solve(p);
+  // Memory alone allows 3, threads only allow 2.
+  EXPECT_EQ(s.picks.size(), 2u);
+  EXPECT_LE(s.threads, 240);
+  EXPECT_LE(s.weight_mib, 3000);
+}
+
+TEST(Dp2D, FindsThreadConstrainedOptimumTheHeuristicMisses) {
+  // Items ordered so the 1-D heuristic's greedy path is suboptimal:
+  // a high-value wide job plus a filler beats two mid jobs.
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 4000;
+  p.thread_capacity = 240;
+  p.items = {item(2000, 200, 2.0), item(2000, 200, 2.0), item(2000, 40, 2.5),
+             item(2000, 40, 2.5)};
+  const Solution s = solver.solve(p);
+  // Optimum: the two 40-thread items (value 5.0, threads 80).
+  EXPECT_DOUBLE_EQ(s.value, 5.0);
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Dp2D, MemoryOnlyReducesToClassicKnapsack) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 5000;
+  p.quantum_mib = 100;
+  p.thread_capacity = 100000;
+  p.items = {item(1000, 1, 60.0), item(2000, 1, 100.0), item(3000, 1, 120.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_DOUBLE_EQ(s.value, 220.0);
+}
+
+TEST(Dp2D, SingleItemExactlyFitting) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.thread_capacity = 240;
+  p.items = {item(1000, 240, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks.size(), 1u);
+}
+
+TEST(Dp2D, ItemExceedingThreadsAloneIsExcluded) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  p.thread_capacity = 120;
+  p.items = {item(1000, 240, 10.0), item(1000, 120, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{1}));
+}
+
+TEST(Dp2D, ZeroThreadCapacityPacksNothing) {
+  Dp2DSolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  p.thread_capacity = 0;
+  p.items = {item(1000, 60, 1.0)};
+  EXPECT_TRUE(solver.solve(p).empty());
+}
+
+TEST(Dp2D, Name) { EXPECT_EQ(Dp2DSolver().name(), "dp2d"); }
+
+}  // namespace
+}  // namespace phisched::knapsack

@@ -1,0 +1,101 @@
+#include "knapsack/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "knapsack/dp2d.hpp"
+#include "knapsack/value.hpp"
+
+namespace phisched::knapsack {
+namespace {
+
+Item item(MiB weight, ThreadCount threads, double value) {
+  Item it;
+  it.weight_mib = weight;
+  it.threads = threads;
+  it.value = value;
+  return it;
+}
+
+TEST(Greedy, TakesByDensity) {
+  GreedyDensitySolver solver;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.thread_capacity = 240;
+  // Densities: 2/1000, 5/1000, 1/1000 — greedy takes index 1 first.
+  p.items = {item(1000, 60, 2.0), item(1000, 60, 5.0), item(1000, 60, 1.0)};
+  const Solution s = solver.solve(p);
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{1}));
+}
+
+TEST(Greedy, RespectsBothBudgets) {
+  GreedyDensitySolver solver;
+  Problem p;
+  p.capacity_mib = 8000;
+  p.thread_capacity = 240;
+  p.items = {item(100, 180, 1.0), item(100, 180, 0.9), item(100, 60, 0.8)};
+  const Solution s = solver.solve(p);
+  // The second 180-thread item does not fit the thread budget; the
+  // 60-thread one does.
+  EXPECT_EQ(s.picks, (std::vector<std::size_t>{0, 2}));
+  EXPECT_LE(s.threads, 240);
+}
+
+TEST(Greedy, ClassicPitfall) {
+  // Density order misses the optimum: one dense small item blocks two
+  // medium ones. DP finds the better pack.
+  GreedyDensitySolver greedy;
+  Dp2DSolver exact;
+  Problem p;
+  p.capacity_mib = 1000;
+  p.quantum_mib = 50;
+  p.thread_capacity = 240;
+  p.items = {item(600, 10, 7.0),   // density 11.7/k
+             item(500, 10, 5.5),   // density 11.0/k
+             item(500, 10, 5.5)};  // density 11.0/k
+  EXPECT_DOUBLE_EQ(greedy.solve(p).value, 7.0);   // takes the dense one, stuck
+  EXPECT_DOUBLE_EQ(exact.solve(p).value, 11.0);   // the two mediums
+}
+
+TEST(Greedy, NeverBeatsExactAndIsUsuallyClose) {
+  Rng rng(77);
+  GreedyDensitySolver greedy;
+  Dp2DSolver exact;
+  double g = 0.0;
+  double e = 0.0;
+  for (int round = 0; round < 25; ++round) {
+    Problem p;
+    p.capacity_mib = rng.uniform_int(1000, 8000);
+    p.thread_capacity = 240;
+    for (int i = 0; i < 12; ++i) {
+      Item it;
+      it.weight_mib = rng.uniform_int(100, 3500);
+      it.threads = static_cast<ThreadCount>(30 * rng.uniform_int(1, 8));
+      it.value = job_value(ValueFunction::kPaperQuadratic, it.threads, 240);
+      p.items.push_back(it);
+    }
+    const double gv = greedy.solve(p).value;
+    const double ev = exact.solve(p).value;
+    EXPECT_LE(gv, ev + 1e-9);
+    g += gv;
+    e += ev;
+  }
+  EXPECT_GT(g, 0.80 * e);
+}
+
+TEST(Greedy, EmptyAndOversized) {
+  GreedyDensitySolver solver;
+  Problem p;
+  p.capacity_mib = 100;
+  EXPECT_TRUE(solver.solve(p).empty());
+  p.items = {item(500, 60, 1.0)};
+  EXPECT_TRUE(solver.solve(p).empty());
+}
+
+TEST(Greedy, FactoryName) {
+  EXPECT_EQ(make_solver(SolverKind::kGreedyDensity)->name(), "greedy");
+  EXPECT_STREQ(solver_kind_name(SolverKind::kGreedyDensity), "greedy");
+}
+
+}  // namespace
+}  // namespace phisched::knapsack

@@ -1,0 +1,79 @@
+#include "knapsack/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::knapsack {
+namespace {
+
+TEST(ValueFunction, PaperQuadraticEquation1) {
+  // Eq. 1: v = 1 - (t/240)^2.
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kPaperQuadratic, 60, 240),
+                   1.0 - 0.25 * 0.25);
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kPaperQuadratic, 120, 240), 0.75);
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kPaperQuadratic, 180, 240),
+                   1.0 - 0.75 * 0.75);
+}
+
+TEST(ValueFunction, FullWidthJobGetsFloorNotZero) {
+  // v(240) would be exactly 0, which would make the DP never pack it; the
+  // floor keeps full-width jobs schedulable.
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kPaperQuadratic, 240, 240),
+                   kValueFloor);
+}
+
+TEST(ValueFunction, LinearAndUnit) {
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kLinearThreads, 60, 240), 0.75);
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kUnit, 237, 240), 1.0);
+  EXPECT_DOUBLE_EQ(job_value(ValueFunction::kInverseThreads, 60, 240), 4.0);
+}
+
+TEST(ValueFunction, DecreasesWithThreads) {
+  for (const auto f :
+       {ValueFunction::kPaperQuadratic, ValueFunction::kLinearThreads,
+        ValueFunction::kInverseThreads}) {
+    double prev = job_value(f, 30, 240);
+    for (ThreadCount t = 60; t <= 240; t += 30) {
+      const double v = job_value(f, t, 240);
+      EXPECT_LE(v, prev) << value_function_name(f) << " at t=" << t;
+      prev = v;
+    }
+  }
+}
+
+TEST(ValueFunction, QuadraticDominatesLinearAndKeepsNarrowJobsNearOne) {
+  // 1 - x^2 >= 1 - x on [0,1]: the quadratic keeps narrow jobs close to
+  // full value (concavity), which is what lets four narrow jobs dominate
+  // any mix involving a wide one.
+  for (ThreadCount t = 30; t <= 240; t += 30) {
+    EXPECT_GE(job_value(ValueFunction::kPaperQuadratic, t, 240),
+              job_value(ValueFunction::kLinearThreads, t, 240));
+  }
+  EXPECT_GT(job_value(ValueFunction::kPaperQuadratic, 60, 240), 0.9);
+  EXPECT_LT(job_value(ValueFunction::kLinearThreads, 60, 240), 0.8);
+}
+
+TEST(ValueFunction, FourNarrowBeatOneWide) {
+  // 4 x 60-thread jobs outvalue 1 x 240-thread job by a wide margin.
+  const double narrow4 =
+      4.0 * job_value(ValueFunction::kPaperQuadratic, 60, 240);
+  const double wide1 = job_value(ValueFunction::kPaperQuadratic, 240, 240);
+  EXPECT_GT(narrow4, 10.0 * wide1);
+}
+
+TEST(ValueFunction, RejectsBadArguments) {
+  EXPECT_THROW((void)job_value(ValueFunction::kUnit, 0, 240),
+               std::invalid_argument);
+  EXPECT_THROW((void)job_value(ValueFunction::kUnit, 60, 0),
+               std::invalid_argument);
+}
+
+TEST(ValueFunction, Names) {
+  EXPECT_STREQ(value_function_name(ValueFunction::kPaperQuadratic),
+               "paper-quadratic");
+  EXPECT_STREQ(value_function_name(ValueFunction::kLinearThreads), "linear");
+  EXPECT_STREQ(value_function_name(ValueFunction::kUnit), "unit");
+  EXPECT_STREQ(value_function_name(ValueFunction::kInverseThreads), "inverse");
+}
+
+}  // namespace
+}  // namespace phisched::knapsack

@@ -1,0 +1,133 @@
+#include "phi/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::phi {
+namespace {
+
+CoreMap make_map() { return CoreMap(60, 4, Rng(1)); }
+
+TEST(CoreMap, EmptyMap) {
+  CoreMap map = make_map();
+  EXPECT_EQ(map.busy_cores(), 0);
+  EXPECT_EQ(map.placed_threads(), 0);
+  EXPECT_FALSE(map.has_overlap());
+  EXPECT_EQ(map.cores(), 60);
+  EXPECT_EQ(map.threads_per_core(), 4);
+}
+
+TEST(CoreMap, ManagedCompactUsesMinimalCores) {
+  CoreMap map = make_map();
+  // COSMIC example: 120 threads = 30 cores at 4 threads/core.
+  (void)map.allocate(120, AffinityPolicy::kManagedCompact);
+  EXPECT_EQ(map.busy_cores(), 30);
+  EXPECT_EQ(map.placed_threads(), 120);
+  EXPECT_FALSE(map.has_overlap());
+  EXPECT_EQ(map.oversubscribed_cores(), 0);
+}
+
+TEST(CoreMap, TwoManagedAllocationsAreDisjoint) {
+  // The paper: two 120-thread jobs each get their own set of 30 cores,
+  // utilizing all 60 cores with no overlap.
+  CoreMap map = make_map();
+  (void)map.allocate(120, AffinityPolicy::kManagedCompact);
+  (void)map.allocate(120, AffinityPolicy::kManagedCompact);
+  EXPECT_EQ(map.busy_cores(), 60);
+  EXPECT_FALSE(map.has_overlap());
+}
+
+TEST(CoreMap, UnmanagedScatterSpreadsOnePerCore) {
+  // MPSS/OpenMP default: a 60-thread offload spreads over 60 cores.
+  CoreMap map = make_map();
+  (void)map.allocate(60, AffinityPolicy::kUnmanagedScatter);
+  EXPECT_EQ(map.busy_cores(), 60);
+  EXPECT_FALSE(map.has_overlap());
+}
+
+TEST(CoreMap, UnmanagedScatterWrapsBeyondCores) {
+  CoreMap map = make_map();
+  (void)map.allocate(180, AffinityPolicy::kUnmanagedScatter);
+  EXPECT_EQ(map.busy_cores(), 60);  // 3 threads on each core
+  EXPECT_EQ(map.placed_threads(), 180);
+  EXPECT_EQ(map.oversubscribed_cores(), 0);
+}
+
+TEST(CoreMap, TwoUnmanagedAllocationsOverlap) {
+  CoreMap map = make_map();
+  (void)map.allocate(120, AffinityPolicy::kUnmanagedScatter);
+  (void)map.allocate(120, AffinityPolicy::kUnmanagedScatter);
+  // 120 threads spread over 60 cores each → guaranteed overlap.
+  EXPECT_TRUE(map.has_overlap());
+}
+
+TEST(CoreMap, SmallScatterMayMissOverlap) {
+  CoreMap map = make_map();
+  (void)map.allocate(4, AffinityPolicy::kUnmanagedScatter);
+  EXPECT_EQ(map.busy_cores(), 4);  // one thread per core, 4 cores
+}
+
+TEST(CoreMap, ReleaseRestoresState) {
+  CoreMap map = make_map();
+  const AllocationId a = map.allocate(120, AffinityPolicy::kManagedCompact);
+  const AllocationId b = map.allocate(120, AffinityPolicy::kManagedCompact);
+  map.release(a);
+  EXPECT_EQ(map.busy_cores(), 30);
+  EXPECT_EQ(map.placed_threads(), 120);
+  map.release(b);
+  EXPECT_EQ(map.busy_cores(), 0);
+  EXPECT_EQ(map.placed_threads(), 0);
+}
+
+TEST(CoreMap, ReleaseUnknownThrows) {
+  CoreMap map = make_map();
+  EXPECT_THROW(map.release(999), std::invalid_argument);
+}
+
+TEST(CoreMap, DoubleReleaseThrows) {
+  CoreMap map = make_map();
+  const AllocationId a = map.allocate(8, AffinityPolicy::kManagedCompact);
+  map.release(a);
+  EXPECT_THROW(map.release(a), std::invalid_argument);
+}
+
+TEST(CoreMap, CompactOversubscriptionWrapsAround) {
+  CoreMap map = make_map();
+  (void)map.allocate(240, AffinityPolicy::kManagedCompact);
+  (void)map.allocate(240, AffinityPolicy::kManagedCompact);
+  EXPECT_EQ(map.placed_threads(), 480);
+  EXPECT_EQ(map.busy_cores(), 60);
+  EXPECT_EQ(map.oversubscribed_cores(), 60);
+  EXPECT_TRUE(map.has_overlap());
+}
+
+TEST(CoreMap, CompactPrefersLeastLoadedCores) {
+  CoreMap map = make_map();
+  (void)map.allocate(236, AffinityPolicy::kManagedCompact);  // 59 cores, 1 partial
+  (void)map.allocate(4, AffinityPolicy::kManagedCompact);
+  // The 4-thread allocation should land on the remaining free core.
+  EXPECT_EQ(map.oversubscribed_cores(), 0);
+  EXPECT_EQ(map.busy_cores(), 60);
+}
+
+TEST(CoreMap, RejectsBadArguments) {
+  CoreMap map = make_map();
+  EXPECT_THROW((void)map.allocate(0, AffinityPolicy::kManagedCompact),
+               std::invalid_argument);
+  EXPECT_THROW(CoreMap(0, 4, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(CoreMap(60, 0, Rng(1)), std::invalid_argument);
+}
+
+class ScatterWidth : public ::testing::TestWithParam<ThreadCount> {};
+
+TEST_P(ScatterWidth, BusyCoresIsMinThreadsCores) {
+  CoreMap map = make_map();
+  (void)map.allocate(GetParam(), AffinityPolicy::kUnmanagedScatter);
+  EXPECT_EQ(map.busy_cores(), std::min<ThreadCount>(GetParam(), 60));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ScatterWidth,
+                         ::testing::Values(1, 15, 30, 59, 60, 61, 120, 180,
+                                           239, 240));
+
+}  // namespace
+}  // namespace phisched::phi

@@ -1,0 +1,218 @@
+#include "phi/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  Device make_device(DeviceConfig config = {}) {
+    return Device(sim_, config, Rng(7), "mic0");
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(DeviceTest, FreshDeviceState) {
+  Device dev = make_device();
+  EXPECT_EQ(dev.memory_used(), 0);
+  EXPECT_EQ(dev.usable_memory(), 8192 - 512);
+  EXPECT_EQ(dev.active_thread_demand(), 0);
+  EXPECT_EQ(dev.busy_cores(), 0);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+  EXPECT_EQ(dev.process_count(), 0u);
+}
+
+TEST_F(DeviceTest, AttachDetachAccounting) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  EXPECT_TRUE(dev.has_process(1));
+  EXPECT_EQ(dev.memory_used(), 16);
+  EXPECT_EQ(dev.process_memory(1), 16);
+  dev.detach_process(1);
+  EXPECT_FALSE(dev.has_process(1));
+  EXPECT_EQ(dev.memory_used(), 0);
+}
+
+TEST_F(DeviceTest, DuplicateAttachThrows) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  EXPECT_THROW(dev.attach_process(1, 16, nullptr), std::invalid_argument);
+}
+
+TEST_F(DeviceTest, DetachUnknownThrows) {
+  Device dev = make_device();
+  EXPECT_THROW(dev.detach_process(9), std::invalid_argument);
+}
+
+TEST_F(DeviceTest, OffloadRunsForItsDuration) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  bool done = false;
+  dev.start_offload(1, 120, 500, 10.0, [&] { done = true; });
+  EXPECT_EQ(dev.active_thread_demand(), 120);
+  EXPECT_EQ(dev.memory_used(), 516);
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim_.now(), 10.0);
+  EXPECT_EQ(dev.active_thread_demand(), 0);
+  EXPECT_EQ(dev.memory_used(), 16);
+  EXPECT_EQ(dev.stats().offloads_completed, 1u);
+}
+
+TEST_F(DeviceTest, OffloadRequiresProcess) {
+  Device dev = make_device();
+  EXPECT_THROW(dev.start_offload(1, 60, 100, 1.0, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(DeviceTest, DetachWithRunningOffloadThrows) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  dev.start_offload(1, 60, 100, 5.0, nullptr);
+  EXPECT_THROW(dev.detach_process(1), std::invalid_argument);
+}
+
+TEST_F(DeviceTest, ConcurrentOffloadsWithinBudgetRunAtFullSpeed) {
+  DeviceConfig managed;
+  managed.affinity = AffinityPolicy::kManagedCompact;
+  Device dev = make_device(managed);
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  SimTime t1 = -1.0;
+  SimTime t2 = -1.0;
+  dev.start_offload(1, 120, 100, 10.0, [&] { t1 = sim_.now(); });
+  dev.start_offload(2, 120, 100, 10.0, [&] { t2 = sim_.now(); });
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(t1, 10.0);
+  EXPECT_DOUBLE_EQ(t2, 10.0);
+}
+
+TEST_F(DeviceTest, CoreUtilizationIntegration) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev = make_device(config);
+  dev.attach_process(1, 0, nullptr);
+  // 120 threads compact = 30 of 60 cores for 10s, then idle to 20s.
+  dev.start_offload(1, 120, 100, 10.0, nullptr);
+  sim_.run();
+  sim_.run_until(20.0);
+  EXPECT_NEAR(dev.core_utilization(20.0), 0.25, 1e-9);
+}
+
+TEST_F(DeviceTest, AdminKillCancelsOffload) {
+  Device dev = make_device();
+  int kills = 0;
+  dev.attach_process(1, 16, [&](JobId job, KillReason reason) {
+    EXPECT_EQ(job, 1u);
+    EXPECT_EQ(reason, KillReason::kAdmin);
+    ++kills;
+  });
+  bool completed = false;
+  dev.start_offload(1, 60, 100, 5.0, [&] { completed = true; });
+  sim_.run_until(1.0);
+  dev.kill_process(1, KillReason::kAdmin);
+  EXPECT_EQ(kills, 1);
+  EXPECT_FALSE(dev.has_process(1));
+  EXPECT_EQ(dev.memory_used(), 0);
+  sim_.run();
+  EXPECT_FALSE(completed);  // completion was cancelled
+  EXPECT_EQ(dev.stats().admin_kills, 1u);
+}
+
+TEST_F(DeviceTest, OomKillerFiresOnMemoryOversubscription) {
+  Device dev = make_device();
+  std::vector<JobId> killed;
+  auto on_kill = [&](JobId job, KillReason reason) {
+    EXPECT_EQ(reason, KillReason::kOom);
+    killed.push_back(job);
+  };
+  dev.attach_process(1, 4000, on_kill);
+  dev.attach_process(2, 3000, on_kill);
+  EXPECT_TRUE(killed.empty());  // 7000 <= 7680
+  dev.attach_process(3, 2000, on_kill);  // 9000 > 7680 → someone dies
+  EXPECT_FALSE(killed.empty());
+  EXPECT_LE(dev.memory_used(), dev.usable_memory());
+  EXPECT_GE(dev.stats().oom_kills, 1u);
+}
+
+TEST_F(DeviceTest, OomDuringOffloadMemoryGrowth) {
+  Device dev = make_device();
+  std::vector<JobId> killed;
+  auto on_kill = [&](JobId job, KillReason) { killed.push_back(job); };
+  dev.attach_process(1, 100, on_kill);
+  dev.attach_process(2, 100, on_kill);
+  dev.start_offload(1, 60, 4000, 10.0, nullptr);
+  EXPECT_TRUE(killed.empty());
+  dev.start_offload(2, 60, 4000, 10.0, nullptr);  // 8200 > 7680
+  EXPECT_EQ(killed.size(), 1u);
+  EXPECT_LE(dev.memory_used(), dev.usable_memory());
+}
+
+TEST_F(DeviceTest, ResidentThreadLoadSlowsOffloads) {
+  DeviceConfig config;
+  config.idle_spin_exponent = 1.0;  // exaggerate for the test
+  Device dev = make_device(config);
+  dev.attach_process(1, 16, nullptr);
+  dev.set_resident_thread_load(480);  // 2x the hardware budget
+  SimTime done_at = -1.0;
+  dev.start_offload(1, 60, 100, 10.0, [&] { done_at = sim_.now(); });
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.5);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(done_at, 20.0);
+}
+
+TEST_F(DeviceTest, ResidentLoadBelowBudgetIsFree) {
+  Device dev = make_device();
+  dev.set_resident_thread_load(240);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+}
+
+TEST_F(DeviceTest, SpeedChangeMidFlightStretchesRemainingWork) {
+  DeviceConfig config;
+  config.idle_spin_exponent = 1.0;
+  Device dev = make_device(config);
+  dev.attach_process(1, 16, nullptr);
+  SimTime done_at = -1.0;
+  dev.start_offload(1, 60, 100, 10.0, [&] { done_at = sim_.now(); });
+  sim_.run_until(5.0);  // half the work done at speed 1
+  dev.set_resident_thread_load(480);  // speed drops to 0.5
+  sim_.run();
+  // Remaining 5s of work at half speed = 10 more seconds.
+  EXPECT_DOUBLE_EQ(done_at, 15.0);
+}
+
+TEST_F(DeviceTest, StatsCountStarts) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  dev.start_offload(1, 60, 0, 1.0, nullptr);
+  sim_.run();
+  dev.start_offload(1, 60, 0, 1.0, nullptr);
+  sim_.run();
+  EXPECT_EQ(dev.stats().offloads_started, 2u);
+  EXPECT_EQ(dev.stats().offloads_completed, 2u);
+}
+
+TEST_F(DeviceTest, KillReasonNames) {
+  EXPECT_STREQ(kill_reason_name(KillReason::kOom), "oom");
+  EXPECT_STREQ(kill_reason_name(KillReason::kContainerLimit),
+               "container-limit");
+  EXPECT_STREQ(kill_reason_name(KillReason::kAdmin), "admin");
+}
+
+TEST_F(DeviceTest, ZeroDurationOffloadCompletesImmediately) {
+  Device dev = make_device();
+  dev.attach_process(1, 16, nullptr);
+  bool done = false;
+  dev.start_offload(1, 60, 10, 0.0, [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim_.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace phisched::phi

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "phi/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(EnergyTest, IdleCardDrawsFloorPower) {
+  Device dev(sim_, DeviceConfig{}, Rng(1));
+  sim_.run_until(100.0);
+  // Floor = 60 W base + 60 cores x 1 W idle = 120 W.
+  EXPECT_DOUBLE_EQ(dev.energy_joules(100.0), 120.0 * 100.0);
+}
+
+TEST_F(EnergyTest, FullyBusyCardDrawsTdp) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.start_offload(1, 240, 100, 100.0, nullptr);  // all 60 cores busy
+  sim_.run();
+  // 60 W + 60 x 2.75 W = 225 W — the KNC TDP.
+  EXPECT_DOUBLE_EQ(dev.energy_joules(100.0), 225.0 * 100.0);
+}
+
+TEST_F(EnergyTest, PartialLoadInterpolates) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  // 120 threads compact = 30 busy cores for 50 s, then idle 50 s.
+  dev.start_offload(1, 120, 100, 50.0, nullptr);
+  sim_.run();
+  sim_.run_until(100.0);
+  const double expected =
+      120.0 * 100.0                 // floor for the whole window
+      + (2.75 - 1.0) * 30.0 * 50.0; // active delta on 30 cores for 50 s
+  EXPECT_DOUBLE_EQ(dev.energy_joules(100.0), expected);
+}
+
+TEST_F(EnergyTest, CustomPowerModel) {
+  DeviceConfig config;
+  config.base_watts = 10.0;
+  config.idle_core_watts = 0.5;
+  config.active_core_watts = 2.0;
+  Device dev(sim_, config, Rng(1));
+  sim_.run_until(10.0);
+  EXPECT_DOUBLE_EQ(dev.energy_joules(10.0), (10.0 + 60.0 * 0.5) * 10.0);
+}
+
+TEST_F(EnergyTest, NegativeHorizonThrows) {
+  Device dev(sim_, DeviceConfig{}, Rng(1));
+  EXPECT_THROW((void)dev.energy_joules(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::phi

@@ -1,0 +1,120 @@
+// Thread-oversubscription behaviour (paper Section II-C): concurrent
+// offloads whose thread demand exceeds the hardware budget slow down
+// super-linearly, reproducing the up-to-800% penalty reported in [6].
+#include <gtest/gtest.h>
+
+#include "phi/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+namespace {
+
+class OversubTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(OversubTest, TwoFullWidthOffloadsSlowEightfold) {
+  // 2x thread oversubscription with exponent 3 → speed (1/2)^3 = 1/8,
+  // i.e. the ~800% performance impact the paper cites.
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;  // isolate the effect
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  SimTime t1 = -1.0;
+  dev.start_offload(1, 240, 100, 10.0, [&] { t1 = sim_.now(); });
+  dev.start_offload(2, 240, 100, 10.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.125);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(t1, 80.0);
+}
+
+TEST_F(OversubTest, SpeedRecoversWhenDemandDrops) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  SimTime long_done = -1.0;
+  // Short offload at 240 threads, long offload at 240 threads.
+  dev.start_offload(1, 240, 100, 1.0, nullptr);
+  dev.start_offload(2, 240, 100, 10.0, [&] { long_done = sim_.now(); });
+  // Both run at 1/8 speed until the short one finishes at t=8 with 9/8... :
+  // short has 1s of work → done at 8.0; long has done 1s of its 10s.
+  sim_.run();
+  EXPECT_DOUBLE_EQ(long_done, 8.0 + 9.0);
+}
+
+TEST_F(OversubTest, ExponentOneIsWorkConserving) {
+  DeviceConfig config;
+  config.oversub_exponent = 1.0;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  SimTime t = -1.0;
+  dev.start_offload(1, 240, 100, 10.0, [&] { t = sim_.now(); });
+  dev.start_offload(2, 240, 100, 10.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.5);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(t, 20.0);
+}
+
+TEST_F(OversubTest, UnmanagedOverlapPaysAffinityPenalty) {
+  DeviceConfig config;
+  config.unmanaged_overlap_penalty = 0.2;
+  config.affinity = AffinityPolicy::kUnmanagedScatter;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  // 120 + 120 threads within budget, but scattered → overlapping cores.
+  dev.start_offload(1, 120, 100, 8.0, nullptr);
+  dev.start_offload(2, 120, 100, 8.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.8);
+}
+
+TEST_F(OversubTest, ManagedCompactAvoidsAffinityPenalty) {
+  DeviceConfig config;
+  config.unmanaged_overlap_penalty = 0.2;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  dev.start_offload(1, 120, 100, 8.0, nullptr);
+  dev.start_offload(2, 120, 100, 8.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+  EXPECT_EQ(dev.busy_cores(), 60);
+}
+
+TEST_F(OversubTest, SingleOffloadNeverPenalized) {
+  Device dev(sim_, DeviceConfig{}, Rng(1));
+  dev.attach_process(1, 16, nullptr);
+  dev.start_offload(1, 240, 100, 5.0, nullptr);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+}
+
+class OversubSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OversubSweep, SlowdownIsMonotoneInDemand) {
+  Simulator sim;
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim, config, Rng(1));
+  const int n = GetParam();
+  double prev_speed = 1.1;
+  for (int i = 0; i < n; ++i) {
+    dev.attach_process(static_cast<JobId>(i), 16, nullptr);
+    dev.start_offload(static_cast<JobId>(i), 120, 10, 100.0, nullptr);
+    EXPECT_LE(dev.current_speed(), prev_speed);
+    prev_speed = dev.current_speed();
+  }
+  if (n > 2) {
+    EXPECT_LT(dev.current_speed(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, OversubSweep, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace phisched::phi

@@ -1,0 +1,161 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace phisched {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesOnlyToEventTimes) {
+  Simulator sim;
+  SimTime seen = -1.0;
+  sim.schedule_in(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFiringIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_NO_THROW(h.cancel());
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_NO_THROW(h.cancel());
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  EventHandle a = sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  a.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1); });
+  sim.schedule_at(2.0, [&] { fired.push_back(2); });
+  sim.schedule_at(3.0, [&] { fired.push_back(3); });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, RunawayGuardThrows) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_in(0.0, forever); };
+  sim.schedule_in(0.0, forever);
+  EXPECT_THROW(sim.run(/*max_events=*/1000), InternalError);
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_at(3.0, [&] {
+    sim.schedule_in(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 3.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, CancelDuringCallbackOfEarlierEvent) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle second;
+  sim.schedule_at(1.0, [&] { second.cancel(); });
+  second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace phisched

@@ -1,0 +1,83 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace phisched {
+namespace {
+
+TEST(PeriodicTimer, FiresAtIntervalMultiples) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  PeriodicTimer timer(sim, 2.0, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(7.0);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{2.0, 4.0, 6.0}));
+}
+
+TEST(PeriodicTimer, CustomPhase) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  PeriodicTimer timer(
+      sim, 2.0, [&] { fire_times.push_back(sim.now()); }, /*phase=*/0.5);
+  sim.run_until(5.0);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{0.5, 2.5, 4.5}));
+}
+
+TEST(PeriodicTimer, StopCancelsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer timer(sim, 1.0, [&] { ++fired; });
+  sim.run_until(2.5);
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimer, CallbackMayStopTheTimer) {
+  Simulator sim;
+  int fired = 0;
+  std::unique_ptr<PeriodicTimer> timer;
+  timer = std::make_unique<PeriodicTimer>(sim, 1.0, [&] {
+    if (++fired == 3) timer->stop();
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(PeriodicTimer, RestartAfterStop) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  PeriodicTimer timer(sim, 1.0, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(1.5);
+  timer.stop();
+  sim.run_until(5.0);
+  timer.start();  // next firing at 6.0
+  sim.run_until(6.5);
+  timer.stop();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{1.0, 6.0}));
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer timer(sim, 1.0, [&] { ++fired; });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(PeriodicTimer, RejectsBadArguments) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, 0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicTimer(sim, -1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(PeriodicTimer(sim, 1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched

@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched {
+namespace {
+
+TEST(IntervalTrace, RecordAndQuery) {
+  IntervalTrace trace;
+  trace.record("J1", 0.0, 2.0, "offload-1");
+  trace.record("J1", 3.0, 5.0, "offload-2");
+  trace.record("J2", 1.0, 4.0, "offload-A");
+  EXPECT_EQ(trace.lane("J1").size(), 2u);
+  EXPECT_EQ(trace.lane("J2").size(), 1u);
+  EXPECT_EQ(trace.lanes(), (std::vector<std::string>{"J1", "J2"}));
+  EXPECT_DOUBLE_EQ(trace.horizon(), 5.0);
+}
+
+TEST(IntervalTrace, OpenCloseRoundTrip) {
+  IntervalTrace trace;
+  const std::size_t token = trace.open("lane", 1.0, "work");
+  trace.close("lane", token, 4.0);
+  const auto& iv = trace.lane("lane")[0];
+  EXPECT_DOUBLE_EQ(iv.start, 1.0);
+  EXPECT_DOUBLE_EQ(iv.end, 4.0);
+  EXPECT_EQ(iv.label, "work");
+}
+
+TEST(IntervalTrace, DoubleCloseThrows) {
+  IntervalTrace trace;
+  const std::size_t token = trace.open("lane", 0.0, "x");
+  trace.close("lane", token, 1.0);
+  EXPECT_THROW(trace.close("lane", token, 2.0), std::invalid_argument);
+}
+
+TEST(IntervalTrace, CloseBeforeStartThrows) {
+  IntervalTrace trace;
+  const std::size_t token = trace.open("lane", 5.0, "x");
+  EXPECT_THROW(trace.close("lane", token, 4.0), std::invalid_argument);
+}
+
+TEST(IntervalTrace, UnknownLaneIsEmpty) {
+  IntervalTrace trace;
+  EXPECT_TRUE(trace.lane("nope").empty());
+}
+
+TEST(IntervalTrace, AsciiRendersGlyphs) {
+  IntervalTrace trace;
+  trace.record("jobA", 0.0, 5.0, "offload", '#');
+  trace.record("jobA", 5.0, 10.0, "host", '.');
+  trace.record("jobB", 2.5, 7.5, "offload", '*');
+  const std::string art = trace.ascii(20);
+  EXPECT_NE(art.find("jobA"), std::string::npos);
+  EXPECT_NE(art.find("jobB"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(IntervalTrace, AsciiCoversProportionalSpan) {
+  IntervalTrace trace;
+  trace.record("L", 0.0, 5.0, "first", '#');
+  trace.record("L", 5.0, 10.0, "idle-ignored", '.');
+  const std::string art = trace.ascii(10);
+  // First half of the 10-char row is '#', second half '.'.
+  const auto bar = art.substr(art.find('|') + 1, 10);
+  EXPECT_EQ(bar, "#####.....");
+}
+
+TEST(IntervalTrace, EmptyTraceHorizonZero) {
+  IntervalTrace trace;
+  EXPECT_DOUBLE_EQ(trace.horizon(), 0.0);
+}
+
+}  // namespace
+}  // namespace phisched

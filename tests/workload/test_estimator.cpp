@@ -1,0 +1,108 @@
+#include "workload/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/quantize.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::workload {
+namespace {
+
+JobSpec growing_job() {
+  JobSpec job;
+  job.id = 1;
+  job.base_memory_mib = 16;
+  job.profile = OffloadProfile({
+      Segment::offload(2.0, 60, 400),
+      Segment::host(1.0),
+      Segment::offload(2.0, 120, 900),
+      Segment::host(1.0),
+      Segment::offload(2.0, 180, 2000),  // the late peak
+  });
+  return job;
+}
+
+TEST(Estimator, FullProfileEstimateIsTruthful) {
+  const JobSpec est = estimate_from_full_profile(growing_job());
+  EXPECT_TRUE(est.declaration_truthful());
+  EXPECT_GE(est.mem_req_mib, est.actual_peak_memory());
+  EXPECT_GE(est.threads_req, 180);
+  EXPECT_EQ(est.mem_req_mib % kMemoryQuantumMiB, 0);
+}
+
+TEST(Estimator, MarginAddsHeadroom) {
+  EstimateConfig tight;
+  tight.memory_margin = 0.0;
+  EstimateConfig loose;
+  loose.memory_margin = 0.5;
+  const JobSpec a = estimate_from_full_profile(growing_job(), tight);
+  const JobSpec b = estimate_from_full_profile(growing_job(), loose);
+  EXPECT_GT(b.mem_req_mib, a.mem_req_mib);
+  // 0% margin still covers the observed peak exactly.
+  EXPECT_GE(a.mem_req_mib, a.actual_peak_memory());
+}
+
+TEST(Estimator, ThreadMarginRoundsUp) {
+  EstimateConfig config;
+  config.thread_margin = 0.1;
+  const JobSpec est = estimate_from_full_profile(growing_job(), config);
+  EXPECT_EQ(est.threads_req, 198);  // ceil(180 * 1.1)
+}
+
+TEST(Estimator, PartialObservationCanUnderestimate) {
+  EstimateConfig config;
+  config.memory_margin = 0.0;
+  const JobSpec est =
+      estimate_from_partial_profile(growing_job(), /*observed=*/2, config);
+  // Only saw 400 and 900 MiB offloads; the 2000 MiB one is a surprise.
+  EXPECT_FALSE(est.declaration_truthful());
+  EXPECT_LT(est.mem_req_mib, est.actual_peak_memory());
+}
+
+TEST(Estimator, PartialObservationOfWholeProfileIsTruthful) {
+  const JobSpec est = estimate_from_partial_profile(growing_job(), 3);
+  EXPECT_TRUE(est.declaration_truthful());
+}
+
+TEST(Estimator, GenerousMarginsRescuePartialObservation) {
+  EstimateConfig config;
+  config.memory_margin = 2.0;  // 3x the observed memory peak
+  config.thread_margin = 0.5;  // 1.5x the observed 120 threads = 180
+  const JobSpec est = estimate_from_partial_profile(growing_job(), 2, config);
+  EXPECT_TRUE(est.declaration_truthful());
+}
+
+TEST(Estimator, EstimateAllPreservesSetSize) {
+  const JobSet jobs = make_real_jobset(50, Rng(3));
+  const JobSet estimated = estimate_all(jobs);
+  ASSERT_EQ(estimated.size(), jobs.size());
+  for (const JobSpec& job : estimated) {
+    EXPECT_TRUE(job.declaration_truthful());
+  }
+}
+
+TEST(Estimator, EstimatesAreTighterOrEqualToMargin) {
+  // With a 15% margin, estimates never exceed 1.15x peak + quantum.
+  const JobSet jobs = make_real_jobset(50, Rng(4));
+  for (const JobSpec& job : estimate_all(jobs)) {
+    const double bound =
+        1.15 * static_cast<double>(job.actual_peak_memory()) + 50.0;
+    EXPECT_LE(static_cast<double>(job.mem_req_mib), bound);
+  }
+}
+
+TEST(Estimator, RejectsBadInput) {
+  EXPECT_THROW((void)estimate_from_partial_profile(growing_job(), 0),
+               std::invalid_argument);
+  JobSpec no_offloads;
+  no_offloads.profile = OffloadProfile({Segment::host(1.0)});
+  EXPECT_THROW((void)estimate_from_partial_profile(no_offloads, 1),
+               std::invalid_argument);
+  EstimateConfig bad;
+  bad.memory_margin = -0.1;
+  EXPECT_THROW((void)estimate_from_full_profile(growing_job(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::workload

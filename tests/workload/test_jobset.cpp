@@ -1,0 +1,91 @@
+#include "workload/jobset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace phisched::workload {
+namespace {
+
+TEST(JobSet, RealJobsetSizeAndIds) {
+  const JobSet jobs = make_real_jobset(100, Rng(1));
+  ASSERT_EQ(jobs.size(), 100u);
+  std::set<JobId> ids;
+  for (const auto& j : jobs) ids.insert(j.id);
+  EXPECT_EQ(ids.size(), 100u);  // unique, dense ids
+  EXPECT_EQ(*ids.begin(), 0u);
+  EXPECT_EQ(*ids.rbegin(), 99u);
+}
+
+TEST(JobSet, RealJobsetUsesAllTemplates) {
+  const JobSet jobs = make_real_jobset(500, Rng(2));
+  std::set<std::string> names;
+  for (const auto& j : jobs) names.insert(j.template_name);
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(JobSet, RealJobsetDeterministic) {
+  const JobSet a = make_real_jobset(50, Rng(42));
+  const JobSet b = make_real_jobset(50, Rng(42));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].template_name, b[i].template_name);
+    EXPECT_EQ(a[i].mem_req_mib, b[i].mem_req_mib);
+    EXPECT_DOUBLE_EQ(a[i].profile.total_duration(),
+                     b[i].profile.total_duration());
+  }
+}
+
+TEST(JobSet, SyntheticJobsetRespectsDistribution) {
+  const JobSet jobs =
+      make_synthetic_jobset(Distribution::kHighSkew, 200, Rng(3));
+  ASSERT_EQ(jobs.size(), 200u);
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.template_name, "SYN-highskew");
+  }
+}
+
+TEST(JobSet, MemoryHistogramShapesDiffer) {
+  const JobSet lo = make_synthetic_jobset(Distribution::kLowSkew, 400, Rng(4));
+  const JobSet hi = make_synthetic_jobset(Distribution::kHighSkew, 400, Rng(4));
+  const Histogram hlo = memory_histogram(lo, 10);
+  const Histogram hhi = memory_histogram(hi, 10);
+  // Low skew: mass in the lower bins; high skew: in the upper bins.
+  double lo_low_mass = 0.0;
+  double hi_low_mass = 0.0;
+  for (std::size_t b = 0; b < 5; ++b) {
+    lo_low_mass += hlo.fraction(b);
+    hi_low_mass += hhi.fraction(b);
+  }
+  EXPECT_GT(lo_low_mass, 0.7);
+  EXPECT_LT(hi_low_mass, 0.4);
+}
+
+TEST(JobSet, ThreadHistogramTotals) {
+  const JobSet jobs = make_real_jobset(300, Rng(5));
+  const Histogram h = thread_histogram(jobs);
+  EXPECT_DOUBLE_EQ(h.total(), 300.0);
+}
+
+TEST(JobSet, TotalSerialDuration) {
+  JobSet jobs;
+  JobSpec a;
+  a.profile = OffloadProfile({Segment::host(2.0), Segment::offload(3.0, 60, 100)});
+  JobSpec b;
+  b.profile = OffloadProfile({Segment::offload(5.0, 60, 100)});
+  jobs.push_back(a);
+  jobs.push_back(b);
+  EXPECT_DOUBLE_EQ(total_serial_duration(jobs), 10.0);
+}
+
+TEST(JobSet, AllRealJobsFitOneCoprocessor) {
+  // Section III: "Each job is guaranteed to fit within one Xeon Phi".
+  const PhiHardware phi;
+  const JobSet jobs = make_real_jobset(1000, Rng(6));
+  for (const auto& j : jobs) {
+    EXPECT_LE(j.mem_req_mib, phi.usable_memory_mib());
+    EXPECT_LE(j.threads_req, phi.hw_threads());
+  }
+}
+
+}  // namespace
+}  // namespace phisched::workload

@@ -1,0 +1,59 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phisched::workload {
+namespace {
+
+TEST(Profile, SegmentFactories) {
+  const Segment h = Segment::host(2.5);
+  EXPECT_EQ(h.kind, SegmentKind::kHost);
+  EXPECT_DOUBLE_EQ(h.duration, 2.5);
+
+  const Segment o = Segment::offload(4.0, 120, 800);
+  EXPECT_EQ(o.kind, SegmentKind::kOffload);
+  EXPECT_EQ(o.threads, 120);
+  EXPECT_EQ(o.memory_mib, 800);
+}
+
+TEST(Profile, SegmentValidation) {
+  EXPECT_THROW((void)Segment::host(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)Segment::offload(1.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW((void)Segment::offload(1.0, 10, -1), std::invalid_argument);
+  EXPECT_THROW((void)Segment::offload(-1.0, 10, 10), std::invalid_argument);
+}
+
+TEST(Profile, EmptyProfile) {
+  OffloadProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.offload_count(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_duration(), 0.0);
+  EXPECT_DOUBLE_EQ(p.duty_cycle(), 0.0);
+  EXPECT_EQ(p.max_threads(), 0);
+  EXPECT_EQ(p.max_offload_memory(), 0);
+}
+
+TEST(Profile, Aggregates) {
+  OffloadProfile p({
+      Segment::offload(4.0, 120, 500),
+      Segment::host(2.0),
+      Segment::offload(6.0, 240, 800),
+      Segment::host(3.0),
+      Segment::offload(5.0, 60, 300),
+  });
+  EXPECT_EQ(p.offload_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.total_duration(), 20.0);
+  EXPECT_DOUBLE_EQ(p.offload_time(), 15.0);
+  EXPECT_DOUBLE_EQ(p.duty_cycle(), 0.75);
+  EXPECT_EQ(p.max_threads(), 240);
+  EXPECT_EQ(p.max_offload_memory(), 800);
+}
+
+TEST(Profile, HostOnlyProfile) {
+  OffloadProfile p({Segment::host(10.0)});
+  EXPECT_DOUBLE_EQ(p.duty_cycle(), 0.0);
+  EXPECT_EQ(p.max_threads(), 0);
+}
+
+}  // namespace
+}  // namespace phisched::workload

@@ -1,0 +1,126 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace phisched::workload {
+namespace {
+
+TEST(Synthetic, DistributionNames) {
+  EXPECT_STREQ(distribution_name(Distribution::kUniform), "Uniform");
+  EXPECT_STREQ(distribution_name(Distribution::kNormal), "Normal");
+  EXPECT_STREQ(distribution_name(Distribution::kLowSkew), "Low Resource Skew");
+  EXPECT_STREQ(distribution_name(Distribution::kHighSkew),
+               "High Resource Skew");
+  EXPECT_EQ(all_distributions().size(), 4u);
+}
+
+TEST(Synthetic, ResourceLevelsInUnitInterval) {
+  SyntheticConfig config;
+  Rng rng(3);
+  for (Distribution d : all_distributions()) {
+    config.distribution = d;
+    for (int i = 0; i < 500; ++i) {
+      const double r = sample_resource_level(config, rng);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Synthetic, SkewMeansAreOrdered) {
+  // Section V-B: skewed means sit one standard deviation from the normal
+  // mean, low below and high above.
+  SyntheticConfig config;
+  Rng rng(5);
+  auto mean_of = [&](Distribution d) {
+    config.distribution = d;
+    Summary s;
+    for (int i = 0; i < 5000; ++i) s.add(sample_resource_level(config, rng));
+    return s.mean();
+  };
+  const double low = mean_of(Distribution::kLowSkew);
+  const double normal = mean_of(Distribution::kNormal);
+  const double high = mean_of(Distribution::kHighSkew);
+  EXPECT_LT(low, normal - 0.08);
+  EXPECT_GT(high, normal + 0.08);
+  EXPECT_NEAR(normal, 0.5, 0.02);
+}
+
+TEST(Synthetic, UniformCoversRange) {
+  SyntheticConfig config;
+  config.distribution = Distribution::kUniform;
+  Rng rng(7);
+  Summary s;
+  for (int i = 0; i < 5000; ++i) s.add(sample_resource_level(config, rng));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_LT(s.min(), 0.02);
+  EXPECT_GT(s.max(), 0.98);
+}
+
+TEST(Synthetic, JobsAreWellFormed) {
+  SyntheticConfig config;
+  Rng rng(9);
+  for (Distribution d : all_distributions()) {
+    config.distribution = d;
+    for (JobId id = 0; id < 100; ++id) {
+      const JobSpec job = sample_synthetic_job(config, id, rng);
+      EXPECT_TRUE(job.declaration_truthful());
+      EXPECT_GE(job.threads_req, config.thread_step);
+      EXPECT_LE(job.threads_req, config.threads_max);
+      EXPECT_EQ(job.threads_req % config.thread_step, 0);
+      EXPECT_GE(job.mem_req_mib, config.memory_lo_mib);
+      EXPECT_GT(job.profile.offload_count(), 0u);
+    }
+  }
+}
+
+TEST(Synthetic, MemoryAndThreadsAreCorrelated) {
+  // The paper assumes jobs with low memory also have low threads.
+  SyntheticConfig config;
+  config.distribution = Distribution::kUniform;
+  Rng rng(11);
+  double sum_xy = 0.0;
+  Summary mem;
+  Summary thr;
+  const int n = 2000;
+  std::vector<JobSpec> jobs;
+  for (JobId id = 0; id < n; ++id) {
+    jobs.push_back(sample_synthetic_job(config, id, rng));
+    mem.add(static_cast<double>(jobs.back().mem_req_mib));
+    thr.add(static_cast<double>(jobs.back().threads_req));
+  }
+  for (const auto& j : jobs) {
+    sum_xy += (static_cast<double>(j.mem_req_mib) - mem.mean()) *
+              (static_cast<double>(j.threads_req) - thr.mean());
+  }
+  const double corr = sum_xy / ((n - 1) * mem.stddev() * thr.stddev());
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(Synthetic, HighSkewDemandsMoreThanLowSkew) {
+  Rng rng(13);
+  SyntheticConfig lo;
+  lo.distribution = Distribution::kLowSkew;
+  SyntheticConfig hi;
+  hi.distribution = Distribution::kHighSkew;
+  Summary lo_mem;
+  Summary hi_mem;
+  for (JobId i = 0; i < 500; ++i) {
+    lo_mem.add(static_cast<double>(sample_synthetic_job(lo, i, rng).mem_req_mib));
+    hi_mem.add(static_cast<double>(sample_synthetic_job(hi, i, rng).mem_req_mib));
+  }
+  EXPECT_GT(hi_mem.mean(), lo_mem.mean() * 1.3);
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.memory_hi_mib = config.memory_lo_mib;
+  Rng rng(1);
+  EXPECT_THROW((void)sample_synthetic_job(config, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::workload

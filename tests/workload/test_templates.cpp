@@ -1,0 +1,100 @@
+#include "workload/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/quantize.hpp"
+
+namespace phisched::workload {
+namespace {
+
+TEST(Templates, TableOneHasSevenEntries) {
+  const auto& templates = table1_templates();
+  ASSERT_EQ(templates.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& t : templates) names.push_back(t.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"KM", "MC", "MD", "SG", "BT",
+                                             "SP", "LU"}));
+}
+
+TEST(Templates, ThreadCountsMatchTableOne) {
+  EXPECT_EQ(table1_template("KM").threads, 60);
+  EXPECT_EQ(table1_template("MC").threads, 180);
+  EXPECT_EQ(table1_template("MD").threads, 180);
+  EXPECT_EQ(table1_template("SG").threads, 60);
+  EXPECT_EQ(table1_template("BT").threads, 240);
+  EXPECT_EQ(table1_template("SP").threads, 180);
+  EXPECT_EQ(table1_template("LU").threads, 180);
+}
+
+TEST(Templates, MemoryRangesMatchTableOne) {
+  EXPECT_EQ(table1_template("KM").memory_lo_mib, 300);
+  EXPECT_EQ(table1_template("KM").memory_hi_mib, 1250);
+  EXPECT_EQ(table1_template("SG").memory_lo_mib, 500);
+  EXPECT_EQ(table1_template("SG").memory_hi_mib, 3400);
+  EXPECT_EQ(table1_template("SP").memory_hi_mib, 1850);
+}
+
+TEST(Templates, UnknownTemplateThrows) {
+  EXPECT_THROW((void)table1_template("XX"), std::invalid_argument);
+}
+
+class TemplateSample : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TemplateSample, InstancesAreWellFormed) {
+  const WorkloadTemplate& tmpl = table1_template(GetParam());
+  Rng rng(1234);
+  for (JobId id = 0; id < 50; ++id) {
+    const JobSpec job = tmpl.sample(id, rng);
+    EXPECT_EQ(job.id, id);
+    EXPECT_EQ(job.template_name, tmpl.name);
+    EXPECT_EQ(job.threads_req, tmpl.threads);
+    // Declaration covers the actual peak and is quantized.
+    EXPECT_TRUE(job.declaration_truthful());
+    EXPECT_EQ(job.mem_req_mib % kMemoryQuantumMiB, 0);
+    EXPECT_GE(job.mem_req_mib, tmpl.memory_lo_mib);
+    EXPECT_LE(job.mem_req_mib,
+              quantize_up(tmpl.memory_hi_mib + job.base_memory_mib));
+    // Profile structure: alternating offloads and host gaps.
+    EXPECT_GE(job.profile.offload_count(),
+              static_cast<std::size_t>(tmpl.offloads_lo));
+    EXPECT_LE(job.profile.offload_count(),
+              static_cast<std::size_t>(tmpl.offloads_hi));
+    EXPECT_EQ(job.profile.max_threads(), tmpl.threads);
+    EXPECT_GT(job.profile.total_duration(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TemplateSample,
+                         ::testing::Values("KM", "MC", "MD", "SG", "BT", "SP",
+                                           "LU"));
+
+TEST(Templates, SamplingIsDeterministic) {
+  const WorkloadTemplate& tmpl = table1_template("SP");
+  Rng a(55);
+  Rng b(55);
+  const JobSpec ja = tmpl.sample(0, a);
+  const JobSpec jb = tmpl.sample(0, b);
+  EXPECT_EQ(ja.mem_req_mib, jb.mem_req_mib);
+  EXPECT_EQ(ja.profile.segments().size(), jb.profile.segments().size());
+  EXPECT_DOUBLE_EQ(ja.profile.total_duration(), jb.profile.total_duration());
+}
+
+TEST(Templates, DutyCycleNearOneHalf) {
+  // Section III: exclusive-mode utilization ~50% requires the offload
+  // duty cycle to sit near 0.5 for full-width spread jobs.
+  Rng rng(77);
+  double duty_sum = 0.0;
+  int n = 0;
+  for (const auto& tmpl : table1_templates()) {
+    for (JobId id = 0; id < 30; ++id) {
+      duty_sum += tmpl.sample(id, rng).profile.duty_cycle();
+      ++n;
+    }
+  }
+  const double mean_duty = duty_sum / n;
+  EXPECT_GT(mean_duty, 0.40);
+  EXPECT_LT(mean_duty, 0.60);
+}
+
+}  // namespace
+}  // namespace phisched::workload

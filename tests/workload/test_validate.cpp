@@ -1,0 +1,93 @@
+#include "workload/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/jobset.hpp"
+
+namespace phisched::workload {
+namespace {
+
+JobSpec good_job(JobId id) {
+  JobSpec job;
+  job.id = id;
+  job.mem_req_mib = 1000;
+  job.threads_req = 60;
+  job.profile = OffloadProfile({Segment::offload(2.0, 60, 800)});
+  return job;
+}
+
+TEST(Validate, CleanSetPasses) {
+  const JobSet jobs = make_real_jobset(100, Rng(1));
+  const ValidationReport report = validate_jobset(jobs);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.warnings.empty());
+  EXPECT_EQ(report.to_string(), "ok\n");
+}
+
+TEST(Validate, DuplicateIds) {
+  JobSet jobs{good_job(1), good_job(1)};
+  const auto report = validate_jobset(jobs);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].problem.find("duplicate"), std::string::npos);
+}
+
+TEST(Validate, OversizedMemoryAndThreads) {
+  JobSpec big = good_job(1);
+  big.mem_req_mib = 100000;
+  big.threads_req = 500;
+  const auto report = validate_jobset({big});
+  EXPECT_EQ(report.errors.size(), 2u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, NonPositiveDeclarations) {
+  JobSpec bad = good_job(1);
+  bad.mem_req_mib = 0;
+  bad.threads_req = 0;
+  const auto report = validate_jobset({bad});
+  EXPECT_EQ(report.errors.size(), 2u);
+}
+
+TEST(Validate, NegativeSubmitTime) {
+  JobSpec bad = good_job(1);
+  bad.submit_time = -1.0;
+  EXPECT_FALSE(validate_jobset({bad}).ok());
+}
+
+TEST(Validate, UntruthfulDeclarationWarns) {
+  JobSpec liar = good_job(1);
+  liar.mem_req_mib = 100;  // actual peak is 816
+  const auto report = validate_jobset({liar});
+  EXPECT_TRUE(report.ok());  // warning, not error
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].problem.find("COSMIC will kill"),
+            std::string::npos);
+}
+
+TEST(Validate, EmptyProfileWarns) {
+  JobSpec empty = good_job(1);
+  empty.profile = OffloadProfile{};
+  const auto report = validate_jobset({empty});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warnings.size(), 1u);
+}
+
+TEST(Validate, CustomHardwareShrinksTheEnvelope) {
+  PhiHardware small;
+  small.memory_mib = 900;
+  small.os_reserved_mib = 24;  // usable 876 < the 1000 MiB declaration
+  const auto report = validate_jobset({good_job(1)}, small);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, ExactFitIsAccepted) {
+  PhiHardware hw;
+  JobSpec job = good_job(1);
+  job.mem_req_mib = hw.usable_memory_mib();
+  job.threads_req = hw.hw_threads();
+  job.profile = OffloadProfile({Segment::offload(1.0, 240, 100)});
+  EXPECT_TRUE(validate_jobset({job}, hw).ok());
+}
+
+}  // namespace
+}  // namespace phisched::workload

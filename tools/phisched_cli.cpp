@@ -1,0 +1,184 @@
+// phisched_cli — run sharing-aware scheduling experiments from the
+// command line.
+//
+// Examples:
+//   phisched_cli --compare --jobs 1000 --nodes 8
+//   phisched_cli --stack MCCK --workload normal --jobs 400 --series
+//   phisched_cli --stack MCC --arrival-rate 2.0 --csv out.csv
+//   phisched_cli --help
+#include <cstdio>
+#include <string>
+
+#include "cluster/report.hpp"
+#include "common/args.hpp"
+#include "common/sparkline.hpp"
+#include "workload/io.hpp"
+#include "workload/jobset.hpp"
+
+namespace {
+
+using namespace phisched;
+
+constexpr const char* kUsage = R"(phisched_cli — Xeon Phi sharing-aware scheduler simulator
+
+options:
+  --stack NAME          MC | MCC | MCCK | firstfit | bestfit | oracle
+                        (default MCCK; ignored with --compare)
+  --compare             run MC, MCC and MCCK side by side
+  --workload NAME       real | uniform | normal | lowskew | highskew
+                        (default real)
+  --jobs N              job count (default 1000)
+  --nodes N             cluster size (default 8)
+  --devices N           Xeon Phi cards per node (default 1)
+  --seed N              experiment + workload seed (default 42)
+  --arrival-rate R      Poisson arrivals at R jobs/s instead of a batch
+  --negotiation-interval S   Condor cycle seconds (default 5)
+  --overcommit X        MCCK thread overcommit factor (default 1.5)
+  --series              print a utilization sparkline (samples every 10 s)
+  --csv PATH            append results as CSV to PATH
+  --save-jobs PATH      write the generated job set to PATH and exit
+  --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
+  --help                this text
+)";
+
+cluster::StackConfig parse_stack(const std::string& name) {
+  if (name == "MC" || name == "mc") return cluster::StackConfig::kMC;
+  if (name == "MCC" || name == "mcc") return cluster::StackConfig::kMCC;
+  if (name == "MCCK" || name == "mcck") return cluster::StackConfig::kMCCK;
+  if (name == "firstfit") return cluster::StackConfig::kMCCFirstFit;
+  if (name == "bestfit") return cluster::StackConfig::kMCCBestFit;
+  if (name == "oracle") return cluster::StackConfig::kMCCOracle;
+  throw std::invalid_argument("unknown --stack '" + name + "'");
+}
+
+workload::JobSet make_jobs(const std::string& name, std::size_t count,
+                           std::uint64_t seed) {
+  const Rng rng = Rng(seed).child("jobs");
+  if (name == "real") return workload::make_real_jobset(count, rng);
+  if (name == "uniform") {
+    return workload::make_synthetic_jobset(workload::Distribution::kUniform,
+                                           count, rng);
+  }
+  if (name == "normal") {
+    return workload::make_synthetic_jobset(workload::Distribution::kNormal,
+                                           count, rng);
+  }
+  if (name == "lowskew") {
+    return workload::make_synthetic_jobset(workload::Distribution::kLowSkew,
+                                           count, rng);
+  }
+  if (name == "highskew") {
+    return workload::make_synthetic_jobset(workload::Distribution::kHighSkew,
+                                           count, rng);
+  }
+  throw std::invalid_argument("unknown --workload '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.has("help")) {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    const auto unknown = args.unknown(
+        {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
+         "arrival-rate", "negotiation-interval", "overcommit", "series",
+         "csv", "save-jobs", "load-jobs", "help"});
+    if (!unknown.empty()) {
+      std::fprintf(stderr, "unknown option --%s (try --help)\n",
+                   unknown.front().c_str());
+      return 2;
+    }
+
+    const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+    const auto job_count =
+        static_cast<std::size_t>(args.get_int_or("jobs", 1000));
+    const std::string workload_name = args.get_or("workload", "real");
+
+    workload::JobSet jobs;
+    if (const auto path = args.get("load-jobs"); path.has_value()) {
+      jobs = workload::load_jobset(*path);
+      std::printf("loaded %zu jobs from %s\n", jobs.size(), path->c_str());
+    } else {
+      jobs = make_jobs(workload_name, job_count, seed);
+    }
+    if (const auto path = args.get("save-jobs"); path.has_value()) {
+      if (!workload::save_jobset(jobs, *path)) {
+        std::fprintf(stderr, "failed to write %s\n", path->c_str());
+        return 1;
+      }
+      std::printf("wrote %zu jobs to %s\n", jobs.size(), path->c_str());
+      return 0;
+    }
+    const double rate = args.get_real_or("arrival-rate", 0.0);
+    if (rate > 0.0) {
+      Rng arrivals = Rng(seed).child("arrivals");
+      SimTime t = 0.0;
+      for (auto& job : jobs) {
+        t += arrivals.exponential(rate);
+        job.submit_time = t;
+      }
+    }
+
+    cluster::ExperimentConfig config;
+    config.node_count = static_cast<std::size_t>(args.get_int_or("nodes", 8));
+    config.node_hw.phi_devices =
+        static_cast<int>(args.get_int_or("devices", 1));
+    config.seed = seed;
+    config.negotiation_interval =
+        args.get_real_or("negotiation-interval", 5.0);
+    config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
+    if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
+
+    std::vector<cluster::NamedResult> results;
+    if (args.get_bool_or("compare", false)) {
+      for (const auto stack :
+           {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
+            cluster::StackConfig::kMCCK}) {
+        config.stack = stack;
+        results.push_back({cluster::stack_config_name(stack),
+                           cluster::run_experiment(config, jobs)});
+      }
+      std::printf("%zu %s jobs on %zu nodes (seed %llu)\n\n", jobs.size(),
+                  workload_name.c_str(), config.node_count,
+                  static_cast<unsigned long long>(seed));
+      std::printf("%s", cluster::comparison_table(results).to_string().c_str());
+    } else {
+      config.stack = parse_stack(args.get_or("stack", "MCCK"));
+      results.push_back({cluster::stack_config_name(config.stack),
+                         cluster::run_experiment(config, jobs)});
+      std::printf("%s on %zu %s jobs, %zu nodes (seed %llu)\n\n",
+                  results[0].name.c_str(), jobs.size(), workload_name.c_str(),
+                  config.node_count, static_cast<unsigned long long>(seed));
+      std::printf("%s", cluster::format_result(results[0].result).c_str());
+    }
+
+    if (args.get_bool_or("series", false)) {
+      for (const auto& named : results) {
+        std::vector<double> series;
+        series.reserve(named.result.utilization_series.size());
+        for (const auto& [t, u] : named.result.utilization_series) {
+          series.push_back(u);
+        }
+        std::printf("\n%-5s busy cores |%s| 0..100%%\n", named.name.c_str(),
+                    sparkline(series, 0.0, 1.0, 70).c_str());
+      }
+    }
+
+    if (const auto path = args.get("csv"); path.has_value()) {
+      const CsvWriter csv = cluster::results_csv(results);
+      if (!csv.write_file(*path)) {
+        std::fprintf(stderr, "failed to write %s\n", path->c_str());
+        return 1;
+      }
+      std::printf("\nwrote %s\n", path->c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
