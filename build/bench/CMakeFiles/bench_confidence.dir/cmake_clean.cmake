@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_confidence.dir/bench_confidence.cpp.o"
+  "CMakeFiles/bench_confidence.dir/bench_confidence.cpp.o.d"
+  "bench_confidence"
+  "bench_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knapsack.dir/bench_knapsack.cpp.o"
+  "CMakeFiles/bench_knapsack.dir/bench_knapsack.cpp.o.d"
+  "bench_knapsack"
+  "bench_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

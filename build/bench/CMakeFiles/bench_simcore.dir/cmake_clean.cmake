@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simcore.dir/bench_simcore.cpp.o"
+  "CMakeFiles/bench_simcore.dir/bench_simcore.cpp.o.d"
+  "bench_simcore"
+  "bench_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

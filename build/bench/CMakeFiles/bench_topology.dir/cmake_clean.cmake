@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology.dir/bench_topology.cpp.o"
+  "CMakeFiles/bench_topology.dir/bench_topology.cpp.o.d"
+  "bench_topology"
+  "bench_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

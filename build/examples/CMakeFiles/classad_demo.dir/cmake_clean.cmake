@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classad_demo.dir/classad_demo.cpp.o"
+  "CMakeFiles/classad_demo.dir/classad_demo.cpp.o.d"
+  "classad_demo"
+  "classad_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classad_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

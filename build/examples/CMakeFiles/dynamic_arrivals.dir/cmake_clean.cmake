@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_arrivals.dir/dynamic_arrivals.cpp.o"
+  "CMakeFiles/dynamic_arrivals.dir/dynamic_arrivals.cpp.o.d"
+  "dynamic_arrivals"
+  "dynamic_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

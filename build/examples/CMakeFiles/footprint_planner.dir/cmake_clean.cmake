@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footprint_planner.dir/footprint_planner.cpp.o"
+  "CMakeFiles/footprint_planner.dir/footprint_planner.cpp.o.d"
+  "footprint_planner"
+  "footprint_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footprint_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gang_jobs.dir/gang_jobs.cpp.o"
+  "CMakeFiles/gang_jobs.dir/gang_jobs.cpp.o.d"
+  "gang_jobs"
+  "gang_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gang_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gang_jobs.
+# This may be replaced when dependencies are built.

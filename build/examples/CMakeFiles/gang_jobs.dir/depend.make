@@ -1,0 +1,2 @@
+# Empty dependencies file for gang_jobs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_timeline.dir/sharing_timeline.cpp.o"
+  "CMakeFiles/sharing_timeline.dir/sharing_timeline.cpp.o.d"
+  "sharing_timeline"
+  "sharing_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
