@@ -4,11 +4,32 @@
 //
 // Paper: even at high job pressure, on large clusters MCCK improves
 // makespan by ~11% over MCC and ~40% over MC.
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phisched;
   using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "fig10", [](std::uint64_t seed) {
+        std::map<std::string, double> m;
+        for (const std::size_t nodes : {2u, 4u, 6u, 8u}) {
+          const auto jobs = workload::make_synthetic_jobset(
+              workload::Distribution::kNormal, nodes * 200,
+              Rng(seed).child("syn"));
+          for (const auto stack :
+               {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
+                cluster::StackConfig::kMCCK}) {
+            const auto r = cluster::run_experiment(
+                paper_cluster(stack, nodes, seed), jobs);
+            m[std::string(cluster::stack_config_name(stack)) + ".nodes" +
+              std::to_string(nodes) + ".makespan"] = r.makespan;
+          }
+        }
+        return m;
+      })) {
+    return 0;
+  }
 
   print_header("Fig. 10: makespan with constant job pressure",
                "normal distribution, jobs 400->1600 as nodes 2->8; "

@@ -6,7 +6,9 @@
 // Fig. 3: both jobs use 120 threads — offloads genuinely overlap and the
 // concurrent makespan drops well below the sequential sum.
 #include <cstdio>
+#include <map>
 
+#include "bench_json.hpp"
 #include "cosmic/middleware.hpp"
 #include "phi/device.hpp"
 #include "sim/simulator.hpp"
@@ -22,12 +24,12 @@ using workload::Segment;
 /// Runs `profiles` concurrently on one COSMIC-managed device; returns the
 /// makespan and fills `trace` with per-job offload intervals.
 SimTime run_shared(const std::vector<OffloadProfile>& profiles,
-                   IntervalTrace* trace) {
+                   IntervalTrace* trace, std::uint64_t seed = 1) {
   Simulator sim;
   phi::DeviceConfig dc;
   dc.affinity = phi::AffinityPolicy::kManagedCompact;
   dc.idle_spin_exponent = 0.0;  // the figures illustrate pure timing
-  phi::Device device(sim, dc, Rng(1));
+  phi::Device device(sim, dc, Rng(seed));
   cosmic::MiddlewareConfig mc;
   mc.queued_resume_overhead_s = 0.0;
   cosmic::NodeMiddleware mw(sim, {&device}, mc);
@@ -105,11 +107,7 @@ void scenario(const char* title, const OffloadProfile& a,
 
 }  // namespace
 
-int main() {
-  std::printf("============================================================\n");
-  std::printf("Figs. 2 & 3: benefits of sharing one coprocessor\n");
-  std::printf("============================================================\n\n");
-
+int main(int argc, char** argv) {
   // Fig. 2: maximal-resource jobs — offloads serialize, gaps still help.
   const OffloadProfile j1({Segment::offload(10.0, 240, 1000),
                            Segment::host(8.0),
@@ -119,7 +117,6 @@ int main() {
                            Segment::offload(6.0, 240, 1000),
                            Segment::host(5.0),
                            Segment::offload(6.0, 240, 1000)});
-  scenario("Fig. 2: two jobs using ALL 240 threads", j1, j2);
 
   // Fig. 3: partial-resource jobs — offloads overlap outright.
   const OffloadProfile j3({Segment::offload(10.0, 120, 1000),
@@ -130,6 +127,28 @@ int main() {
                            Segment::offload(6.0, 120, 1000),
                            Segment::host(5.0),
                            Segment::offload(6.0, 120, 1000)});
+
+  if (phisched::bench::run_json_mode(
+          argc, argv, "fig2_fig3", [&](std::uint64_t seed) {
+            std::map<std::string, double> m;
+            m["fig2.sequential_makespan"] =
+                j1.total_duration() + j2.total_duration();
+            m["fig2.concurrent_makespan"] =
+                run_shared({j1, j2}, nullptr, seed);
+            m["fig3.sequential_makespan"] =
+                j3.total_duration() + j4.total_duration();
+            m["fig3.concurrent_makespan"] =
+                run_shared({j3, j4}, nullptr, seed);
+            return m;
+          })) {
+    return 0;
+  }
+
+  std::printf("============================================================\n");
+  std::printf("Figs. 2 & 3: benefits of sharing one coprocessor\n");
+  std::printf("============================================================\n\n");
+
+  scenario("Fig. 2: two jobs using ALL 240 threads", j1, j2);
   scenario("Fig. 3: two jobs using 120 of 240 threads", j3, j4);
 
   std::printf(

@@ -4,11 +4,34 @@
 // "represents both memory and thread resources" (the two are correlated).
 // This harness prints the declared-memory histograms of the generated
 // 400-job sets.
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phisched;
   using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "fig7", [](std::uint64_t seed) {
+        std::map<std::string, double> m;
+        for (const auto dist : workload::all_distributions()) {
+          const auto jobs = workload::make_synthetic_jobset(
+              dist, 400, Rng(seed).child("syn"));
+          double mem = 0.0;
+          double thr = 0.0;
+          for (const auto& job : jobs) {
+            mem += static_cast<double>(job.mem_req_mib);
+            thr += static_cast<double>(job.threads_req);
+          }
+          const auto n = static_cast<double>(jobs.size());
+          const std::string d = workload::distribution_name(dist);
+          m[d + ".jobs"] = n;
+          m[d + ".mean_declared_mem_mib"] = mem / n;
+          m[d + ".mean_declared_threads"] = thr / n;
+        }
+        return m;
+      })) {
+    return 0;
+  }
 
   print_header("Fig. 7: resource distributions of the synthetic job sets",
                "uniform / normal / low-skew / high-skew, 400 jobs each");

@@ -4,11 +4,32 @@
 // Paper shape: big reductions for uniform/normal/low-skew; the high-skew
 // set improves least (big jobs cannot share), and there MCCK may not beat
 // MCC (negotiation-cycle latency).
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phisched;
   using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "fig8", [](std::uint64_t seed) {
+        std::map<std::string, double> m;
+        for (const auto dist : workload::all_distributions()) {
+          const auto jobs = workload::make_synthetic_jobset(
+              dist, 400, Rng(seed).child("syn"));
+          const std::string d = workload::distribution_name(dist);
+          for (const auto stack :
+               {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
+                cluster::StackConfig::kMCCK}) {
+            const auto r = cluster::run_experiment(
+                paper_cluster(stack, 8, seed), jobs);
+            m[d + "." + cluster::stack_config_name(stack) + ".makespan"] =
+                r.makespan;
+          }
+        }
+        return m;
+      })) {
+    return 0;
+  }
 
   print_header("Fig. 8: makespan vs job resource distribution",
                "400 synthetic jobs, 8 nodes, MC/MCC/MCCK");

@@ -1,0 +1,92 @@
+#include "bench_json.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace phisched::bench {
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_u64(std::string_view flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "bench: bad value for %.*s: %s\n",
+                 static_cast<int>(flag.size()), flag.data(), text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool run_json_mode(int argc, char** argv, const std::string& name,
+                   const obs::SeedFn& run_seed) {
+  bool json = false;
+  std::string path = "BENCH_" + name + ".json";
+  std::uint64_t seed_base = 42;
+  std::size_t seeds = 5;
+  unsigned threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench: %.*s needs a value\n",
+                     static_cast<int>(arg.size()), arg.data());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+      // Optional path operand (not another flag).
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+    } else if (arg == "--seeds") {
+      seeds = static_cast<std::size_t>(parse_u64(arg, value()));
+    } else if (arg == "--seed-base") {
+      seed_base = parse_u64(arg, value());
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(parse_u64(arg, value()));
+    } else if (arg == "--serial") {
+      threads = 1;
+    } else {
+      std::fprintf(stderr, "bench: unknown flag %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      std::exit(2);
+    }
+  }
+  if (!json) return false;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned used =
+      std::min<unsigned>(threads == 0 ? hw : threads,
+                         static_cast<unsigned>(std::max<std::size_t>(seeds, 1)));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<obs::SeedRun> runs =
+      obs::sweep_seeds(seed_base, seeds, run_seed, threads);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::string doc = obs::bench_report_json(
+      name, obs::current_environment(), runs, wall, used);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << doc << '\n';
+  std::printf("wrote %s (%zu seeds, %u threads, %.2fs)\n", path.c_str(), seeds,
+              used, wall);
+  return true;
+}
+
+}  // namespace phisched::bench

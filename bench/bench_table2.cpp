@@ -5,11 +5,39 @@
 // footprint 8 -> 6 (MCC, -25%) -> 5 (MCCK, -37.5%). Absolute seconds are
 // testbed-specific; the reproduction targets the ordering and reduction
 // factors.
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phisched;
   using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "table2", [](std::uint64_t seed) {
+        std::map<std::string, double> m;
+        const auto jobs =
+            workload::make_real_jobset(1000, Rng(seed).child("jobs"));
+        double baseline = 0.0;
+        for (const auto stack :
+             {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
+              cluster::StackConfig::kMCCK}) {
+          const auto r =
+              cluster::run_experiment(paper_cluster(stack, 8, seed), jobs);
+          const std::string s = cluster::stack_config_name(stack);
+          m[s + ".makespan"] = r.makespan;
+          if (stack == cluster::StackConfig::kMC) {
+            baseline = r.makespan;
+          } else {
+            m[s + ".reduction_vs_mc"] = 1.0 - r.makespan / baseline;
+            const auto f = cluster::find_footprint(
+                paper_cluster(stack, 8, seed), jobs, baseline, 8);
+            m[s + ".footprint_nodes"] =
+                f.achieved() ? static_cast<double>(f.nodes) : 0.0;
+          }
+        }
+        return m;
+      })) {
+    return 0;
+  }
 
   print_header("Table II: makespan and footprint reduction",
                "MC 3568 / MCC 2611 (-27%) / MCCK 2183 (-39%); "

@@ -2,11 +2,37 @@
 // cluster that still achieves the 8-node MC makespan.
 //
 // Paper: MC 8/8/8/8; MCC 6/6/4/6 (25-50%); MCCK 5/5/3/6 (25-67.5%).
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace phisched;
   using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "table3", [](std::uint64_t seed) {
+        std::map<std::string, double> m;
+        for (const auto dist : workload::all_distributions()) {
+          const auto jobs = workload::make_synthetic_jobset(
+              dist, 400, Rng(seed).child("syn"));
+          const std::string d = workload::distribution_name(dist);
+          const double target =
+              cluster::run_experiment(
+                  paper_cluster(cluster::StackConfig::kMC, 8, seed), jobs)
+                  .makespan;
+          m[d + ".MC.makespan"] = target;
+          for (const auto stack :
+               {cluster::StackConfig::kMCC, cluster::StackConfig::kMCCK}) {
+            const auto f = cluster::find_footprint(
+                paper_cluster(stack, 8, seed), jobs, target, 8);
+            m[d + "." + cluster::stack_config_name(stack) +
+              ".footprint_nodes"] =
+                f.achieved() ? static_cast<double>(f.nodes) : 0.0;
+          }
+        }
+        return m;
+      })) {
+    return 0;
+  }
 
   print_header("Table III: footprint reduction per distribution",
                "MCC 6/6/4/6 and MCCK 5/5/3/6 vs an 8-node MC cluster");

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cluster/CMakeFiles/phisched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/phisched_bench_json.dir/DependInfo.cmake"
   "/root/repo/build/src/cosmic/CMakeFiles/phisched_cosmic.dir/DependInfo.cmake"
   "/root/repo/build/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/phisched_core.dir/DependInfo.cmake"
@@ -22,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/knapsack/CMakeFiles/phisched_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
   )
 

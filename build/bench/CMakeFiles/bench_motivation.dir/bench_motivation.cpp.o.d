@@ -221,6 +221,9 @@ bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/sim/simulator.hpp /root/repo/src/condor/schedd.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/events.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/common/histogram.hpp \
  /root/repo/src/core/policy.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -255,5 +258,4 @@ bench/CMakeFiles/bench_motivation.dir/bench_motivation.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/phi/device.hpp /root/repo/src/phi/affinity.hpp \
  /root/repo/src/cluster/footprint.hpp /root/repo/src/common/table.hpp \
- /root/repo/src/workload/jobset.hpp /root/repo/src/common/histogram.hpp \
- /root/repo/src/workload/synthetic.hpp
+ /root/repo/src/workload/jobset.hpp /root/repo/src/workload/synthetic.hpp

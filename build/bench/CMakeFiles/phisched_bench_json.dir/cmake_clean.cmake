@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_bench_json.dir/bench_json.cpp.o"
+  "CMakeFiles/phisched_bench_json.dir/bench_json.cpp.o.d"
+  "libphisched_bench_json.a"
+  "libphisched_bench_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_bench_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

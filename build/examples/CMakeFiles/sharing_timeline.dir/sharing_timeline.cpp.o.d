@@ -213,9 +213,13 @@ examples/CMakeFiles/sharing_timeline.dir/sharing_timeline.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
- /root/repo/src/common/types.hpp /root/repo/src/phi/device.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/common/types.hpp /root/repo/src/obs/recorder.hpp \
+ /root/repo/src/obs/events.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/common/histogram.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/limits \
+ /root/repo/src/phi/device.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -225,8 +229,7 @@ examples/CMakeFiles/sharing_timeline.dir/sharing_timeline.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -243,7 +246,6 @@ examples/CMakeFiles/sharing_timeline.dir/sharing_timeline.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/common/error.hpp /root/repo/src/common/stats.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/phi/affinity.hpp \
+ /root/repo/src/common/error.hpp /root/repo/src/phi/affinity.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/workload/profile.hpp

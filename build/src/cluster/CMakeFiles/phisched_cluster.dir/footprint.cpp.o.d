@@ -221,6 +221,9 @@ src/cluster/CMakeFiles/phisched_cluster.dir/footprint.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/sim/simulator.hpp /root/repo/src/condor/schedd.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/events.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/common/histogram.hpp \
  /root/repo/src/core/policy.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -254,11 +257,14 @@ src/cluster/CMakeFiles/phisched_cluster.dir/footprint.cpp.o: \
  /root/repo/src/cosmic/middleware.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/phi/device.hpp /root/repo/src/phi/affinity.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /root/repo/src/common/threadpool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

@@ -245,8 +245,11 @@ src/cluster/CMakeFiles/phisched_cluster.dir/node.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h /root/repo/src/phi/device.hpp \
- /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/stl_heap.h /root/repo/src/obs/recorder.hpp \
+ /root/repo/src/obs/events.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/common/histogram.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/common/stats.hpp /root/repo/src/phi/device.hpp \
  /root/repo/src/phi/affinity.hpp /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -11,11 +11,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/args.cpp" "src/common/CMakeFiles/phisched_common.dir/args.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/args.cpp.o.d"
   "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/phisched_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/error.cpp.o.d"
   "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/phisched_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/phisched_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/json.cpp.o.d"
   "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/phisched_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/log.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/phisched_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/sparkline.cpp" "src/common/CMakeFiles/phisched_common.dir/sparkline.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/sparkline.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/phisched_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/phisched_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "src/common/CMakeFiles/phisched_common.dir/threadpool.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/threadpool.cpp.o.d"
   )
 
 # Targets to which this target links.

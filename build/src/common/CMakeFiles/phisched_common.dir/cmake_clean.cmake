@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/phisched_common.dir/error.cpp.o.d"
   "CMakeFiles/phisched_common.dir/histogram.cpp.o"
   "CMakeFiles/phisched_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/json.cpp.o"
+  "CMakeFiles/phisched_common.dir/json.cpp.o.d"
   "CMakeFiles/phisched_common.dir/log.cpp.o"
   "CMakeFiles/phisched_common.dir/log.cpp.o.d"
   "CMakeFiles/phisched_common.dir/rng.cpp.o"
@@ -15,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/phisched_common.dir/stats.cpp.o.d"
   "CMakeFiles/phisched_common.dir/table.cpp.o"
   "CMakeFiles/phisched_common.dir/table.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/threadpool.cpp.o"
+  "CMakeFiles/phisched_common.dir/threadpool.cpp.o.d"
   "libphisched_common.a"
   "libphisched_common.pdb"
 )

@@ -245,6 +245,10 @@ src/condor/CMakeFiles/phisched_condor.dir/negotiator.cpp.o: \
  /root/repo/src/classad/value.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/types.hpp \
  /root/repo/src/sim/simulator.hpp /root/repo/src/condor/schedd.hpp \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/events.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/common/histogram.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/common/stats.hpp \
  /root/repo/src/sim/timer.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -215,6 +215,11 @@ src/condor/CMakeFiles/phisched_condor.dir/schedd.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/classad/value.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/types.hpp \
- /root/repo/src/sim/simulator.hpp /root/repo/src/classad/parser.hpp \
- /root/repo/src/classad/lexer.hpp /root/repo/src/classad/token.hpp \
- /root/repo/src/common/error.hpp
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/events.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/common/histogram.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/common/stats.hpp \
+ /usr/include/c++/12/limits /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/classad/parser.hpp /root/repo/src/classad/lexer.hpp \
+ /root/repo/src/classad/token.hpp /root/repo/src/common/error.hpp \
+ /root/repo/src/common/json.hpp

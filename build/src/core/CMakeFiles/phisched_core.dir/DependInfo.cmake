@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
   "/root/repo/build/src/condor/CMakeFiles/phisched_condor.dir/DependInfo.cmake"
   "/root/repo/build/src/knapsack/CMakeFiles/phisched_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
   )
 

@@ -217,8 +217,13 @@ src/core/CMakeFiles/phisched_core.dir/addon.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/sim/simulator.hpp /root/repo/src/condor/schedd.hpp \
- /root/repo/src/core/policy.hpp /root/repo/src/common/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/obs/recorder.hpp /root/repo/src/obs/events.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/common/histogram.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/common/stats.hpp \
+ /usr/include/c++/12/limits /root/repo/src/core/policy.hpp \
+ /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -228,8 +233,7 @@ src/core/CMakeFiles/phisched_core.dir/addon.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -247,9 +251,8 @@ src/core/CMakeFiles/phisched_core.dir/addon.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/error.hpp /root/repo/src/knapsack/solver.hpp \
- /root/repo/src/knapsack/item.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/knapsack/value.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/knapsack/item.hpp /root/repo/src/knapsack/value.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/classad/parser.hpp /root/repo/src/classad/lexer.hpp \

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
   )
 

@@ -172,8 +172,8 @@ src/phi/CMakeFiles/phisched_phi.dir/device.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/common/stats.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/common/types.hpp /root/repo/src/phi/affinity.hpp \
- /root/repo/src/sim/simulator.hpp /usr/include/c++/12/memory \
+ /root/repo/src/common/types.hpp /root/repo/src/obs/recorder.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
@@ -240,7 +240,11 @@ src/phi/CMakeFiles/phisched_phi.dir/device.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/obs/events.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/common/histogram.hpp /root/repo/src/phi/affinity.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/log.hpp /usr/include/c++/12/sstream \

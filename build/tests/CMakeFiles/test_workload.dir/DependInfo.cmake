@@ -27,6 +27,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
   )

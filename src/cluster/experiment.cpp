@@ -56,6 +56,7 @@ class Experiment {
                          config_.dispatch_latency < config_.negotiation_interval,
                      "experiment: dispatch latency must be below the "
                      "negotiation interval");
+    if (config_.telemetry) recorder_ = std::make_unique<obs::Recorder>();
     build_nodes();
     build_condor();
     submit_jobs(jobs);
@@ -102,6 +103,15 @@ class Experiment {
       collector_.advertise(n, [this, n] {
         return nodes_[static_cast<std::size_t>(n)]->machine_ad();
       });
+      if (recorder_ != nullptr) {
+        Node& node = *nodes_.back();
+        const std::string tag = "node" + std::to_string(n);
+        node.middleware().attach_telemetry(*recorder_, "cosmic." + tag);
+        for (DeviceId d = 0; d < node.device_count(); ++d) {
+          node.device(d).attach_telemetry(
+              *recorder_, "phi." + tag + ".mic" + std::to_string(d));
+        }
+      }
     }
   }
 
@@ -113,6 +123,10 @@ class Experiment {
         sim_, schedd_, collector_,
         [this](JobId job, NodeId node) { return dispatch(job, node); }, ncfg,
         rng_.child("negotiator"));
+    if (recorder_ != nullptr) {
+      negotiator_->attach_telemetry(*recorder_, "condor.negotiator");
+      schedd_.attach_telemetry(*recorder_, "condor.schedd");
+    }
 
     if (uses_addon(config_.stack)) {
       std::unique_ptr<core::AssignmentPolicy> policy;
@@ -332,6 +346,29 @@ class Experiment {
     }
     r.mean_turnaround = r.turnaround.mean();
     r.utilization_series = samples_;
+
+    if (recorder_ != nullptr) {
+      auto& m = recorder_->metrics();
+      m.gauge("cluster.makespan_s").set(r.makespan);
+      m.gauge("cluster.avg_core_utilization").set(r.avg_core_utilization);
+      m.gauge("cluster.device_energy_mj").set(r.device_energy_mj);
+      m.gauge("cluster.mean_turnaround_s").set(r.mean_turnaround);
+      m.counter("cluster.jobs_completed").inc(r.jobs_completed);
+      m.counter("cluster.jobs_failed").inc(r.jobs_failed);
+      m.counter("cluster.job_retries").inc(r.job_retries);
+      // Per-job slowdown (turnaround over solo full-speed duration) — the
+      // paper's fairness lens on sharing.
+      auto& slowdown = m.histogram("cluster.job_slowdown", 0.0, 20.0, 40);
+      for (const auto& [id, spec] : specs_) {
+        const condor::JobRecord& rec = schedd_.record(id);
+        const double solo = spec.profile.total_duration();
+        if (rec.finish_time >= 0.0 && solo > 0.0) {
+          slowdown.add((rec.finish_time - rec.submit_time) / solo);
+        }
+      }
+      r.telemetry = std::make_shared<const obs::Snapshot>(
+          obs::take_snapshot(*recorder_, r.makespan));
+    }
     return r;
   }
 
@@ -350,6 +387,7 @@ class Experiment {
   std::size_t total_jobs_ = 0;
   std::unique_ptr<PeriodicTimer> sampler_;
   std::vector<std::pair<SimTime, double>> samples_;
+  std::unique_ptr<obs::Recorder> recorder_;
 };
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/addon.hpp"
 #include "cosmic/middleware.hpp"
 #include "core/policy.hpp"
+#include "obs/recorder.hpp"
 #include "workload/jobspec.hpp"
 
 namespace phisched::cluster {
@@ -75,6 +76,12 @@ struct ExperimentConfig {
   /// ExperimentResult::utilization_series.
   SimTime sample_interval = 0.0;
 
+  /// Full observability: when true, every layer (devices, middleware,
+  /// negotiator, schedd, cluster rollups) records into an obs::Recorder
+  /// whose snapshot lands in ExperimentResult::telemetry. Off by default —
+  /// the instrumented sites then cost one null check each.
+  bool telemetry = false;
+
   /// On-failure retries: a job killed by COSMIC's container (or the OOM
   /// killer) is requeued up to this many times instead of failing.
   int max_retries = 0;
@@ -117,6 +124,11 @@ struct ExperimentResult {
 
   /// (time, busy-core fraction) samples, when sampling was enabled.
   std::vector<std::pair<SimTime, double>> utilization_series;
+
+  /// Metrics + event-log snapshot taken at the makespan; null unless
+  /// ExperimentConfig::telemetry was set. Shared so results stay cheap to
+  /// copy; compare *telemetry for determinism checks.
+  std::shared_ptr<const obs::Snapshot> telemetry;
 };
 
 /// Runs one experiment to completion. Every job must individually fit a

@@ -1,9 +1,7 @@
 #include "cluster/footprint.hpp"
 
-#include <atomic>
-#include <thread>
-
 #include "common/error.hpp"
+#include "common/threadpool.hpp"
 
 namespace phisched::cluster {
 
@@ -41,35 +39,42 @@ std::vector<std::pair<std::size_t, SimTime>> makespan_by_size(
 std::vector<std::pair<std::size_t, SimTime>> makespan_by_size_parallel(
     const ExperimentConfig& config, const workload::JobSet& jobs,
     const std::vector<std::size_t>& sizes, unsigned max_threads) {
-  if (max_threads == 0) {
-    max_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
   std::vector<std::pair<std::size_t, SimTime>> out(sizes.size());
 
-  // Work-stealing over the size list: each simulation owns all its state
-  // (simulator, RNGs, cluster), so runs are embarrassingly parallel and
-  // the output is identical to the serial sweep.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= sizes.size()) return;
-      ExperimentConfig local = config;
-      local.node_count = sizes[i];
-      out[i] = {sizes[i], run_experiment(local, jobs).makespan};
-    }
-  };
+  // Work-stealing over the size list on the shared pool: each simulation
+  // owns all its state (simulator, RNGs, cluster), so runs are
+  // embarrassingly parallel and, because results land at their input
+  // index, the output is identical to the serial sweep.
+  ThreadPool::shared().parallel_for(
+      sizes.size(),
+      [&](std::size_t i) {
+        ExperimentConfig local = config;
+        local.node_count = sizes[i];
+        out[i] = {sizes[i], run_experiment(local, jobs).makespan};
+      },
+      max_threads);
+  return out;
+}
 
-  const unsigned n_threads =
-      std::min<unsigned>(max_threads, static_cast<unsigned>(sizes.size()));
-  if (n_threads <= 1) {
-    worker();
-    return out;
+std::vector<ExperimentResult> sweep_experiments(
+    const std::vector<ExperimentConfig>& configs,
+    const workload::JobSet& jobs) {
+  std::vector<ExperimentResult> out;
+  out.reserve(configs.size());
+  for (const ExperimentConfig& c : configs) {
+    out.push_back(run_experiment(c, jobs));
   }
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+std::vector<ExperimentResult> sweep_experiments_parallel(
+    const std::vector<ExperimentConfig>& configs, const workload::JobSet& jobs,
+    unsigned max_threads) {
+  std::vector<ExperimentResult> out(configs.size());
+  ThreadPool::shared().parallel_for(
+      configs.size(),
+      [&](std::size_t i) { out[i] = run_experiment(configs[i], jobs); },
+      max_threads);
   return out;
 }
 

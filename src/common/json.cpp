@@ -1,0 +1,305 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace phisched {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double x) {
+  if (!std::isfinite(x)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, x);
+  PHISCHED_CHECK(ec == std::errc{}, "json_number: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+std::string json_number(std::uint64_t x) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, x);
+  PHISCHED_CHECK(ec == std::errc{}, "json_number: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+std::string json_number(std::int64_t x) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, x);
+  PHISCHED_CHECK(ec == std::errc{}, "json_number: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+// ---------------------------------------------------------------------------
+// Validator: a recursive-descent syntax checker (no value construction).
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero: no further integer digits allowed
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) { return Checker(text).run(); }
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Scope::kObject) {
+    PHISCHED_REQUIRE(have_key_, "JsonWriter: object member needs key() first");
+    have_key_ = false;
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  newline_indent();
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  PHISCHED_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "JsonWriter: end_object outside object");
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  PHISCHED_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray,
+                   "JsonWriter: end_array outside array");
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  PHISCHED_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "JsonWriter: key outside object");
+  PHISCHED_REQUIRE(!have_key_, "JsonWriter: key already pending");
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  have_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double x) {
+  before_value();
+  out_ += json_number(x);
+}
+
+void JsonWriter::value(std::uint64_t x) {
+  before_value();
+  out_ += json_number(x);
+}
+
+void JsonWriter::value(std::int64_t x) {
+  before_value();
+  out_ += json_number(x);
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+}
+
+std::string JsonWriter::str() && {
+  PHISCHED_REQUIRE(stack_.empty(), "JsonWriter: unbalanced begin/end");
+  if (pretty_) out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace phisched

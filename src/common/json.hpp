@@ -1,0 +1,90 @@
+// Minimal JSON writer with deterministic output, used by the telemetry
+// exporters (obs) and the machine-readable bench runner.
+//
+// Design constraints:
+//  * Deterministic formatting — golden-file tests and the "parallel bench
+//    runs are bit-identical to serial runs" guarantee both depend on the
+//    exact bytes. Doubles are printed with std::to_chars (shortest
+//    round-trip form), which is platform-independent for IEEE-754.
+//  * No dependencies; writer-only (plus a small syntax validator used by
+//    tests — this is not a general-purpose parser).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phisched {
+
+/// Escapes a string for inclusion inside JSON quotes (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form of `x`; NaN/Inf render as "null"
+/// (JSON has no representation for them).
+[[nodiscard]] std::string json_number(double x);
+[[nodiscard]] std::string json_number(std::uint64_t x);
+[[nodiscard]] std::string json_number(std::int64_t x);
+
+/// True when `text` is one syntactically valid JSON value (objects,
+/// arrays, strings, numbers, true/false/null, arbitrary nesting).
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Streaming JSON writer: explicit begin/end calls, automatic commas.
+///
+///   JsonWriter w(/*pretty=*/true);
+///   w.begin_object();
+///   w.key("makespan"); w.value(123.5);
+///   w.key("series"); w.begin_array(); w.value(1.0); w.end_array();
+///   w.end_object();
+///   std::string out = std::move(w).str();
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Next member's key; must be inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double x);
+  void value(std::uint64_t x);
+  void value(std::int64_t x);
+  void value(int x) { value(static_cast<std::int64_t>(x)); }
+  void value(unsigned x) { value(static_cast<std::uint64_t>(x)); }
+  void value(bool b);
+  void null();
+
+  /// Splices a pre-serialized JSON value verbatim (the caller guarantees
+  /// its validity); commas and pending keys are handled as for value().
+  void raw(std::string_view json);
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void member(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document so far. The writer must be back at nesting depth 0.
+  [[nodiscard]] std::string str() &&;
+  [[nodiscard]] const std::string& peek() const { return out_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;
+  bool pretty_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace phisched

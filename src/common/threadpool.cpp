@@ -1,0 +1,180 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace phisched {
+
+namespace {
+
+// Set while a pool worker is executing a task, so re-entrant
+// parallel_for calls from inside worker code degrade to inline execution
+// instead of deadlocking on their own pool.
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+/// State of one parallel_for invocation, shared by its participants. It
+/// lives on the caller's stack; the caller blocks until every participant
+/// task has finished, so the references handed to the workers stay valid.
+struct ThreadPool::ParallelJob {
+  /// One contiguous chunk of the index range. `next`/`end` are guarded by
+  /// `m` so owners popping and thieves resizing never race.
+  struct Range {
+    std::mutex m;
+    std::size_t next = 0;
+    std::size_t end = 0;
+  };
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::unique_ptr<Range>> ranges;  // one per participant
+  std::atomic<bool> cancelled{false};
+
+  std::mutex done_m;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;  ///< participants that ran to completion
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    t_inside_worker = true;
+    task();
+    t_inside_worker = false;
+  }
+}
+
+bool ThreadPool::take_index(ParallelJob& job, std::size_t me,
+                            std::size_t& out) {
+  ParallelJob::Range& mine = *job.ranges[me];
+  {
+    std::lock_guard<std::mutex> lock(mine.m);
+    if (mine.next < mine.end) {
+      out = mine.next++;
+      return true;
+    }
+  }
+  // Own chunk drained: steal the upper half of another participant's
+  // remainder. A stolen sub-range becomes this participant's chunk, so
+  // every item always belongs to exactly one live participant.
+  const std::size_t k = job.ranges.size();
+  for (std::size_t step = 1; step < k; ++step) {
+    ParallelJob::Range& victim = *job.ranges[(me + step) % k];
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    {
+      std::lock_guard<std::mutex> lock(victim.m);
+      const std::size_t rem = victim.end - victim.next;
+      if (rem == 0) continue;
+      const std::size_t take = (rem + 1) / 2;
+      end = victim.end;
+      begin = victim.end - take;
+      victim.end = begin;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mine.m);
+      mine.next = begin + 1;
+      mine.end = end;
+    }
+    out = begin;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_participant(ParallelJob& job, std::size_t me) {
+  std::size_t i = 0;
+  while (take_index(job, me, i)) {
+    if (job.cancelled.load(std::memory_order_relaxed)) continue;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.done_m);
+      if (job.error == nullptr) job.error = std::current_exception();
+      job.cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.done_m);
+    job.finished += 1;
+  }
+  job.done_cv.notify_all();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t max_participants) {
+  if (n == 0) return;
+
+  // Never occupy more threads than there are items, and honour the
+  // caller's cap. The caller always counts as one participant.
+  std::size_t participants = std::min<std::size_t>(workers_.size() + 1, n);
+  if (max_participants > 0) {
+    participants = std::min(participants, max_participants);
+  }
+  if (participants <= 1 || t_inside_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ParallelJob job;
+  job.fn = &fn;
+  job.ranges.reserve(participants);
+  for (std::size_t p = 0; p < participants; ++p) {
+    auto range = std::make_unique<ParallelJob::Range>();
+    range->next = n * p / participants;
+    range->end = n * (p + 1) / participants;
+    job.ranges.push_back(std::move(range));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t p = 1; p < participants; ++p) {
+      tasks_.emplace_back([&job, p] { run_participant(job, p); });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller works too — progress is guaranteed even when every worker
+  // is busy with other jobs.
+  run_participant(job, 0);
+
+  std::unique_lock<std::mutex> lock(job.done_m);
+  job.done_cv.wait(lock,
+                   [&job, participants] { return job.finished == participants; });
+  if (job.error != nullptr) std::rethrow_exception(job.error);
+}
+
+}  // namespace phisched

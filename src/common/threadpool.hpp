@@ -1,0 +1,71 @@
+// Shared work-stealing thread pool.
+//
+// One process-wide pool (ThreadPool::shared()) serves every parallel
+// sweep in the codebase — the footprint/makespan sweeps and the bench
+// seed sweeps — instead of each call site spawning its own ad-hoc
+// threads. parallel_for splits the index range into one contiguous chunk
+// per participant; a participant that drains its chunk steals the upper
+// half of the largest remainder it finds, so uneven item costs (small
+// clusters simulate much faster than large ones) still balance.
+//
+// Guarantees:
+//  * Deterministic results: fn(i) writes only to its own slot, so the
+//    schedule cannot change outputs — parallel runs are bit-identical to
+//    serial ones.
+//  * The number of busy workers never exceeds min(threads, items): a
+//    sweep of 2 items on a 16-thread machine occupies 2 threads, not 16.
+//  * Exceptions from fn propagate to the caller (first one wins; the
+//    remaining items are skipped, the pool stays usable).
+//  * Safe under TSan: all shared state is mutex- or atomic-guarded.
+//  * Re-entrant calls from inside a worker run inline (no deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phisched {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` persistent workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(0) .. fn(n-1), blocking until all complete. The calling
+  /// thread participates, so at most min(thread_count()+1, n) threads
+  /// touch the work — capped further by `max_participants` when nonzero
+  /// (1 forces a serial in-caller run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_participants = 0);
+
+  /// The process-wide pool, created on first use with hardware
+  /// concurrency.
+  static ThreadPool& shared();
+
+ private:
+  struct ParallelJob;
+
+  void worker_loop();
+  static void run_participant(ParallelJob& job, std::size_t me);
+  static bool take_index(ParallelJob& job, std::size_t me, std::size_t& out);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace phisched

@@ -21,6 +21,21 @@ Negotiator::Negotiator(Simulator& sim, Schedd& schedd, Collector& collector,
                    "Negotiator: cycle interval must be positive");
 }
 
+void Negotiator::attach_telemetry(obs::Recorder& recorder,
+                                  const std::string& prefix) {
+  obs_.rec = &recorder;
+  obs_.prefix = prefix;
+  auto& m = recorder.metrics();
+  obs_.cycles = &m.counter(prefix + ".cycles");
+  obs_.matches = &m.counter(prefix + ".matches");
+  obs_.rejected_dispatches = &m.counter(prefix + ".rejected_dispatches");
+  obs_.pending_jobs = &m.series(prefix + ".pending_jobs");
+  obs_.pending_age_max_s = &m.gauge(prefix + ".pending_age_max_s");
+  obs_.pending_age_hist =
+      &m.histogram(prefix + ".pending_age_hist", 0.0, 600.0, 24);
+  obs_.pending_jobs->set(sim_.now(), 0.0);
+}
+
 void Negotiator::start() {
   timer_ = std::make_unique<PeriodicTimer>(sim_, config_.cycle_interval,
                                            [this] { run_cycle(); });
@@ -50,6 +65,18 @@ void Negotiator::run_cycle() {
 
   auto machines = collector_.machine_ads();
   std::vector<JobId> pending = schedd_.pending();
+
+  const std::uint64_t matches_before = stats_.matches;
+  const std::uint64_t rejected_before = stats_.rejected_dispatches;
+  if (obs_.rec != nullptr) {
+    obs_.cycles->inc();
+    obs_.pending_jobs->set(sim_.now(), static_cast<double>(pending.size()));
+    for (JobId id : pending) {
+      const double age = sim_.now() - schedd_.record(id).submit_time;
+      obs_.pending_age_max_s->set_max(age);
+      obs_.pending_age_hist->add(age);
+    }
+  }
 
   // Higher JobPrio first; FIFO (the schedd's order) within equal
   // priorities. Jobs without the attribute have priority 0. Priorities
@@ -109,6 +136,17 @@ void Negotiator::run_cycle() {
       ++stats_.rejected_dispatches;
       schedd_.release_match(job_id);
     }
+  }
+
+  if (obs_.rec != nullptr) {
+    const std::uint64_t matched = stats_.matches - matches_before;
+    const std::uint64_t rejected = stats_.rejected_dispatches - rejected_before;
+    obs_.matches->inc(matched);
+    obs_.rejected_dispatches->inc(rejected);
+    obs_.rec->event(sim_.now(), "negotiation_cycle",
+                    {{"pending", std::to_string(pending.size())},
+                     {"matched", std::to_string(matched)},
+                     {"rejected", std::to_string(rejected)}});
   }
 }
 

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "condor/collector.hpp"
 #include "condor/schedd.hpp"
+#include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace phisched::condor {
@@ -82,7 +83,25 @@ class Negotiator {
 
   [[nodiscard]] const NegotiatorStats& stats() const { return stats_; }
 
+  /// Registers matchmaking instruments under `prefix` (e.g.
+  /// "condor.negotiator"): cycle/match/rejection counters, the
+  /// pending-queue depth series, the pending-age distribution, and one
+  /// "negotiation_cycle" event per cycle.
+  void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
+
  private:
+  /// Cached instrument pointers; all null until attach_telemetry.
+  struct Telemetry {
+    obs::Recorder* rec = nullptr;
+    std::string prefix;
+    obs::Counter* cycles = nullptr;
+    obs::Counter* matches = nullptr;
+    obs::Counter* rejected_dispatches = nullptr;
+    obs::TimeSeriesGauge* pending_jobs = nullptr;
+    obs::Gauge* pending_age_max_s = nullptr;
+    obs::ValueHistogram* pending_age_hist = nullptr;
+  };
+
   /// Deducts the job's requests from a cycle-local machine ad copy.
   static void deduct(classad::ClassAd& machine, const classad::ClassAd& job,
                      bool custom_resources);
@@ -96,6 +115,7 @@ class Negotiator {
   std::function<void()> pre_cycle_;
   std::unique_ptr<PeriodicTimer> timer_;
   NegotiatorStats stats_;
+  Telemetry obs_;
 };
 
 }  // namespace phisched::condor

@@ -2,6 +2,7 @@
 
 #include "classad/parser.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace phisched::condor {
 
@@ -24,6 +25,28 @@ void Schedd::submit(JobId id, classad::ClassAd ad) {
   rec.submit_time = sim_.now();
   jobs_.emplace(id, std::move(rec));
   fifo_.push_back(id);
+  if (obs_.rec != nullptr) obs_.jobs_submitted->inc();
+}
+
+void Schedd::attach_telemetry(obs::Recorder& recorder,
+                              const std::string& prefix) {
+  obs_.rec = &recorder;
+  obs_.prefix = prefix;
+  auto& m = recorder.metrics();
+  obs_.jobs_submitted = &m.counter(prefix + ".jobs_submitted");
+  obs_.jobs_completed = &m.counter(prefix + ".jobs_completed");
+  obs_.jobs_failed = &m.counter(prefix + ".jobs_failed");
+  obs_.jobs_requeued = &m.counter(prefix + ".jobs_requeued");
+}
+
+void Schedd::note_terminal(const JobRecord& rec, const char* type) {
+  if (obs_.rec == nullptr) return;
+  const SimTime turnaround = rec.finish_time - rec.submit_time;
+  obs_.rec->event(sim_.now(), type,
+                  {{"job", std::to_string(rec.id)},
+                   {"node", std::to_string(rec.node)},
+                   {"retries", std::to_string(rec.retries)},
+                   {"turnaround_s", json_number(turnaround)}});
 }
 
 JobRecord& Schedd::mutable_record(JobId id) {
@@ -84,6 +107,10 @@ void Schedd::mark_completed(JobId id) {
   rec.finish_time = sim_.now();
   last_finish_ = sim_.now();
   ++completed_;
+  if (obs_.rec != nullptr) {
+    obs_.jobs_completed->inc();
+    note_terminal(rec, "job_completed");
+  }
   if (on_terminal_) on_terminal_(rec);
 }
 
@@ -96,6 +123,10 @@ void Schedd::mark_failed(JobId id) {
   rec.finish_time = sim_.now();
   last_finish_ = sim_.now();
   ++failed_;
+  if (obs_.rec != nullptr) {
+    obs_.jobs_failed->inc();
+    note_terminal(rec, "job_failed");
+  }
   if (on_terminal_) on_terminal_(rec);
 }
 
@@ -109,6 +140,7 @@ void Schedd::requeue(JobId id, classad::ClassAd new_ad) {
   rec.start_time = -1.0;
   rec.ad = std::move(new_ad);
   rec.retries += 1;
+  if (obs_.rec != nullptr) obs_.jobs_requeued->inc();
 }
 
 void Schedd::release_match(JobId id) {

@@ -12,6 +12,7 @@
 
 #include "classad/classad.hpp"
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace phisched::condor {
@@ -92,7 +93,24 @@ class Schedd {
   /// drained() holds.
   [[nodiscard]] SimTime last_finish_time() const { return last_finish_; }
 
+  /// Registers queue-lifecycle instruments under `prefix` (e.g.
+  /// "condor.schedd"): submit/complete/fail/requeue counters plus a
+  /// terminal event per job carrying its turnaround time.
+  void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
+
  private:
+  /// Cached instrument pointers; all null until attach_telemetry.
+  struct Telemetry {
+    obs::Recorder* rec = nullptr;
+    std::string prefix;
+    obs::Counter* jobs_submitted = nullptr;
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* jobs_failed = nullptr;
+    obs::Counter* jobs_requeued = nullptr;
+  };
+
+  void note_terminal(const JobRecord& rec, const char* type);
+
   JobRecord& mutable_record(JobId id);
 
   Simulator& sim_;
@@ -102,6 +120,7 @@ class Schedd {
   std::size_t failed_ = 0;
   SimTime last_finish_ = 0.0;
   std::function<void(const JobRecord&)> on_terminal_;
+  Telemetry obs_;
 };
 
 }  // namespace phisched::condor

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/log.hpp"
 
 namespace phisched::cosmic {
@@ -19,6 +20,58 @@ NodeMiddleware::NodeMiddleware(Simulator& sim,
     DeviceState ds;
     ds.device = d;
     devices_.push_back(std::move(ds));
+  }
+}
+
+void NodeMiddleware::attach_telemetry(obs::Recorder& recorder,
+                                      const std::string& prefix) {
+  obs_.rec = &recorder;
+  obs_.prefix = prefix;
+  obs::Registry& m = recorder.metrics();
+  obs_.offloads_admitted = &m.counter(prefix + ".offloads_admitted");
+  obs_.offloads_queued = &m.counter(prefix + ".offloads_queued");
+  obs_.container_kills = &m.counter(prefix + ".container_kills");
+  obs_.jobs_admitted = &m.counter(prefix + ".jobs_admitted");
+  obs_.jobs_parked = &m.counter(prefix + ".jobs_parked");
+  obs_.admission_wait_s = &m.gauge(prefix + ".admission_wait_s");
+  obs_.admission_wait_hist =
+      &m.histogram(prefix + ".admission_wait_hist", 0.0, 200.0, 20);
+  obs_.admission_depth = &m.series(prefix + ".admission_queue_depth");
+  obs_.admission_depth->set(sim_.now(),
+                            static_cast<double>(job_queue_.size()));
+  obs_.queue_depth.clear();
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    obs::TimeSeriesGauge* depth =
+        &m.series(prefix + ".mic" + std::to_string(d) + ".queue_depth");
+    depth->set(sim_.now(), static_cast<double>(devices_[d].queue.size()));
+    obs_.queue_depth.push_back(depth);
+  }
+}
+
+void NodeMiddleware::note_queue_depth(DeviceId d) {
+  if (obs_.rec == nullptr) return;
+  const auto i = static_cast<std::size_t>(d);
+  obs_.queue_depth[i]->set(sim_.now(),
+                           static_cast<double>(devices_[i].queue.size()));
+}
+
+void NodeMiddleware::note_admission_depth() {
+  if (obs_.rec == nullptr) return;
+  obs_.admission_depth->set(sim_.now(),
+                            static_cast<double>(job_queue_.size()));
+}
+
+void NodeMiddleware::note_admitted(const WaitingJob& w) {
+  if (obs_.rec == nullptr) return;
+  obs_.jobs_admitted->inc();
+  if (w.parked_at >= 0.0) {
+    const SimTime waited = sim_.now() - w.parked_at;
+    obs_.admission_wait_s->add(waited);
+    obs_.admission_wait_hist->add(waited);
+    obs_.rec->event(sim_.now(), "job_admitted",
+                    {{"node", obs_.prefix},
+                     {"job", std::to_string(w.job)},
+                     {"waited_s", json_number(waited)}});
   }
 }
 
@@ -135,6 +188,7 @@ bool NodeMiddleware::try_admit(WaitingJob& w) {
   }
 
   stats_.jobs_admitted += 1;
+  note_admitted(w);
   if (w.on_admitted) w.on_admitted();
   return true;
 }
@@ -164,7 +218,17 @@ void NodeMiddleware::submit_job(JobId job, std::vector<DeviceId> pinned,
                           !job_queue_.empty();
   if (must_queue || !try_admit(w)) {
     stats_.jobs_parked += 1;
+    w.parked_at = sim_.now();
+    if (obs_.rec != nullptr) {
+      obs_.jobs_parked->inc();
+      obs_.rec->event(sim_.now(), "job_parked",
+                      {{"node", obs_.prefix},
+                       {"job", std::to_string(w.job)},
+                       {"declared_mib", std::to_string(w.declared_mem)},
+                       {"gang", std::to_string(w.gang_size)}});
+    }
     job_queue_.push_back(std::move(w));
+    note_admission_depth();
   }
 }
 
@@ -205,6 +269,7 @@ void NodeMiddleware::admit_waiting() {
     }
   } while (admit_again_);
   admitting_ = false;
+  note_admission_depth();
 }
 
 bool NodeMiddleware::fits_now(const DeviceState& ds, ThreadCount threads) const {
@@ -223,6 +288,14 @@ bool NodeMiddleware::container_violation(JobId job, const Reservation& res,
   PHISCHED_WARN() << "COSMIC container kill: job " << job << " would use "
                   << prospective << " MiB, declared " << res.declared_mem;
   stats_.container_kills += 1;
+  if (obs_.rec != nullptr) {
+    obs_.container_kills->inc();
+    obs_.rec->event(sim_.now(), "container_kill",
+                    {{"node", obs_.prefix},
+                     {"job", std::to_string(job)},
+                     {"prospective_mib", std::to_string(prospective)},
+                     {"declared_mib", std::to_string(res.declared_mem)}});
+  }
   ds.device->kill_process(job, phi::KillReason::kContainerLimit);
   return true;
 }
@@ -294,7 +367,9 @@ void NodeMiddleware::admit_offload(JobId job, ThreadCount threads, MiB memory,
     start_now(d, std::move(pending), /*was_queued=*/false);
   } else {
     stats_.offloads_queued += 1;
+    if (obs_.rec != nullptr) obs_.offloads_queued->inc();
     ds.queue.push_back(std::move(pending));
+    note_queue_depth(d);
   }
 }
 
@@ -302,6 +377,7 @@ void NodeMiddleware::start_now(DeviceId d, PendingOffload pending,
                                bool was_queued) {
   auto& ds = devices_[static_cast<std::size_t>(d)];
   stats_.offloads_admitted += 1;
+  if (obs_.rec != nullptr) obs_.offloads_admitted->inc();
   const SimTime duration =
       pending.duration +
       (was_queued ? config_.queued_resume_overhead_s : 0.0);
@@ -323,6 +399,7 @@ void NodeMiddleware::drain_queue(DeviceId d) {
     while (!ds.queue.empty() && fits_now(ds, ds.queue.front().threads)) {
       PendingOffload pending = std::move(ds.queue.front());
       ds.queue.pop_front();
+      note_queue_depth(d);
       start_now(d, std::move(pending), /*was_queued=*/true);
     }
     return;
@@ -333,6 +410,7 @@ void NodeMiddleware::drain_queue(DeviceId d) {
     if (fits_now(ds, it->threads)) {
       PendingOffload pending = std::move(*it);
       it = ds.queue.erase(it);
+      note_queue_depth(d);
       start_now(d, std::move(pending), /*was_queued=*/true);
       // start_now may recurse into drain_queue; restart the scan.
       it = ds.queue.begin();
@@ -350,6 +428,7 @@ void NodeMiddleware::release_reservation(JobId job, const Reservation& res) {
                                     return p.job == job;
                                   }),
                    ds.queue.end());
+    note_queue_depth(d);
     ds.reserved_mem -= res.declared_mem;
     ds.reserved_threads -= res.declared_threads;
     PHISCHED_CHECK(ds.reserved_mem >= 0, "reservation ledger underflow");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "phi/device.hpp"
 #include "sim/simulator.hpp"
 
@@ -163,6 +164,12 @@ class NodeMiddleware {
   [[nodiscard]] std::vector<DeviceId> gang_of(JobId job) const;
   [[nodiscard]] const MiddlewareStats& stats() const { return stats_; }
 
+  /// Registers this node's instruments under `prefix` (e.g.
+  /// "cosmic.node0"): per-device offload queue depth series, admission
+  /// queue depth and wait distribution, park/admit/kill counters and
+  /// events. Null until called; then each site costs one pointer test.
+  void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
+
  private:
   struct PendingOffload {
     JobId job = 0;
@@ -196,6 +203,22 @@ class NodeMiddleware {
     MiB base_memory = 0;
     KillCallback on_kill;
     std::function<void()> on_admitted;
+    SimTime parked_at = -1.0;  ///< when it entered the admission queue
+  };
+
+  /// Cached instrument pointers; all null until attach_telemetry.
+  struct Telemetry {
+    obs::Recorder* rec = nullptr;
+    std::string prefix;
+    obs::Counter* offloads_admitted = nullptr;
+    obs::Counter* offloads_queued = nullptr;
+    obs::Counter* container_kills = nullptr;
+    obs::Counter* jobs_admitted = nullptr;
+    obs::Counter* jobs_parked = nullptr;
+    obs::Gauge* admission_wait_s = nullptr;
+    obs::ValueHistogram* admission_wait_hist = nullptr;
+    obs::TimeSeriesGauge* admission_depth = nullptr;
+    std::vector<obs::TimeSeriesGauge*> queue_depth;  ///< per device
   };
 
   /// Post-transfer stage of request_offload: container check + queueing.
@@ -228,6 +251,11 @@ class NodeMiddleware {
   /// Admits every queued job that now fits.
   void admit_waiting();
 
+  /// Telemetry helpers (no-ops when detached).
+  void note_queue_depth(DeviceId d);
+  void note_admission_depth();
+  void note_admitted(const WaitingJob& w);
+
   Simulator& sim_;
   MiddlewareConfig config_;
   std::vector<DeviceState> devices_;
@@ -237,6 +265,7 @@ class NodeMiddleware {
   bool admit_again_ = false; ///< a deferred pass was requested
   SimTime pcie_free_at_ = 0.0;  ///< when the shared PCIe bus frees up
   MiddlewareStats stats_;
+  Telemetry obs_;
 };
 
 }  // namespace phisched::cosmic

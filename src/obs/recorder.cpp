@@ -1,0 +1,76 @@
+#include "obs/recorder.hpp"
+
+#include "common/json.hpp"
+
+namespace phisched::obs {
+
+namespace {
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) w.member(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) w.member(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.member("lo", h.lo);
+    w.member("hi", h.hi);
+    w.key("counts");
+    w.begin_array();
+    for (const double c : h.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_events(JsonWriter& w, const std::vector<Event>& events) {
+  w.begin_array();
+  for (const Event& e : events) {
+    w.begin_object();
+    w.member("t", e.t);
+    w.member("type", e.type);
+    w.key("f");
+    w.begin_object();
+    for (const auto& [k, v] : e.fields) w.member(k, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snap, bool pretty) {
+  JsonWriter w(pretty);
+  write_metrics(w, snap);
+  return std::move(w).str();
+}
+
+std::string events_json(const std::vector<Event>& events, bool pretty) {
+  JsonWriter w(pretty);
+  write_events(w, events);
+  return std::move(w).str();
+}
+
+std::string snapshot_json(const Snapshot& snap, bool pretty) {
+  JsonWriter w(pretty);
+  w.begin_object();
+  w.key("metrics");
+  write_metrics(w, snap.metrics);
+  w.key("events");
+  write_events(w, snap.events);
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace phisched::obs

@@ -1,0 +1,65 @@
+// phisched::obs — the Recorder instrumented components talk to, and the
+// Snapshot experiments hand back to callers.
+//
+// A Recorder bundles one metrics Registry and one EventLog for one run.
+// Components receive a Recorder* via attach_telemetry(...); a null
+// pointer (the default everywhere) means telemetry is off and the
+// instrumented sites reduce to a single pointer test — determinism and
+// performance of un-instrumented runs are untouched.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace phisched::obs {
+
+class Recorder {
+ public:
+  [[nodiscard]] Registry& metrics() { return metrics_; }
+  [[nodiscard]] const Registry& metrics() const { return metrics_; }
+  [[nodiscard]] EventLog& events() { return events_; }
+  [[nodiscard]] const EventLog& events() const { return events_; }
+
+  void event(SimTime t, std::string type,
+             std::initializer_list<std::pair<std::string, std::string>> fields) {
+    events_.emit(t, std::move(type), fields);
+  }
+
+ private:
+  Registry metrics_;
+  EventLog events_;
+};
+
+/// Immutable end-of-run view: flattened metrics + the full event log.
+/// operator== makes "parallel run telemetry is bit-identical to serial"
+/// a one-line assertion.
+struct Snapshot {
+  MetricsSnapshot metrics;
+  std::vector<Event> events;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+[[nodiscard]] inline Snapshot take_snapshot(const Recorder& rec,
+                                            SimTime until) {
+  return Snapshot{rec.metrics().snapshot(until), rec.events().events()};
+}
+
+/// JSON for the metrics section:
+/// {"counters":{...},"gauges":{...},"histograms":{"n":{"lo":..,"hi":..,
+/// "counts":[..]}}}
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap,
+                                       bool pretty = false);
+
+/// JSON array of events: [{"t":..,"type":"..","f":{..}}, ...]
+[[nodiscard]] std::string events_json(const std::vector<Event>& events,
+                                      bool pretty = false);
+
+/// Full snapshot: {"metrics":{...},"events":[...]}
+[[nodiscard]] std::string snapshot_json(const Snapshot& snap,
+                                        bool pretty = false);
+
+}  // namespace phisched::obs

@@ -70,6 +70,25 @@ MiB Device::process_memory(JobId job) const {
   return it->second.base_memory + it->second.offload_memory;
 }
 
+void Device::attach_telemetry(obs::Recorder& recorder,
+                              const std::string& prefix) {
+  obs_.rec = &recorder;
+  obs_.prefix = prefix;
+  obs::Registry& m = recorder.metrics();
+  obs_.oversub_episodes = &m.counter(prefix + ".oversub_episodes");
+  obs_.oom_kills = &m.counter(prefix + ".oom_kills");
+  obs_.container_kills = &m.counter(prefix + ".container_kills");
+  obs_.admin_kills = &m.counter(prefix + ".admin_kills");
+  obs_.offloads_started = &m.counter(prefix + ".offloads_started");
+  obs_.offloads_completed = &m.counter(prefix + ".offloads_completed");
+  obs_.speed = &m.series(prefix + ".speed");
+  obs_.busy_cores = &m.series(prefix + ".busy_cores");
+  obs_.speed_seconds = &m.time_histogram(prefix + ".speed_seconds", 0.0, 1.0, 10);
+  obs_.speed->set(sim_.now(), speed_);
+  obs_.busy_cores->set(sim_.now(), static_cast<double>(cores_.busy_cores()));
+  obs_.speed_seconds->set(sim_.now(), speed_);
+}
+
 OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
                                 SimTime duration, OffloadCallback on_complete) {
   PHISCHED_REQUIRE(threads > 0, "start_offload: threads must be positive");
@@ -95,6 +114,7 @@ OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
   pit->second.offload_memory += memory;
   memory_used_ += memory;
   stats_.offloads_started += 1;
+  if (obs_.rec != nullptr) obs_.offloads_started->inc();
 
   reconcile();
   check_oom();
@@ -171,6 +191,31 @@ void Device::set_resident_thread_load(ThreadCount declared_threads) {
 void Device::reconcile() {
   speed_ = compute_speed();
   busy_core_time_.set(sim_.now(), static_cast<double>(cores_.busy_cores()));
+
+  // Episode accounting: one episode spans the whole interval during which
+  // thread demand exceeds the hardware budget, regardless of how many
+  // offloads come and go inside it.
+  const bool over = active_thread_demand() > config_.hw.hw_threads();
+  if (over != oversub_active_) {
+    oversub_active_ = over;
+    if (over) {
+      stats_.oversub_episodes += 1;
+      if (obs_.rec != nullptr) {
+        obs_.oversub_episodes->inc();
+        obs_.rec->event(sim_.now(), "oversub_begin",
+                        {{"device", obs_.prefix},
+                         {"demand", std::to_string(active_thread_demand())},
+                         {"limit", std::to_string(config_.hw.hw_threads())}});
+      }
+    } else if (obs_.rec != nullptr) {
+      obs_.rec->event(sim_.now(), "oversub_end", {{"device", obs_.prefix}});
+    }
+  }
+  if (obs_.rec != nullptr) {
+    obs_.speed->set(sim_.now(), speed_);
+    obs_.busy_cores->set(sim_.now(), static_cast<double>(cores_.busy_cores()));
+    obs_.speed_seconds->set(sim_.now(), speed_);
+  }
   for (auto& [id, off] : offloads_) {
     off.completion.cancel();
     const SimTime eta = off.remaining_work / speed_;
@@ -199,6 +244,7 @@ void Device::finish_offload(OffloadId id) {
 
   offloads_.erase(it);
   stats_.offloads_completed += 1;
+  if (obs_.rec != nullptr) obs_.offloads_completed->inc();
   reconcile();
 
   if (on_complete) on_complete();
@@ -227,6 +273,15 @@ void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
 
   settle();
 
+  if (obs_.rec != nullptr) {
+    obs_.rec->event(sim_.now(), "kill",
+                    {{"device", obs_.prefix},
+                     {"job", std::to_string(job)},
+                     {"reason", kill_reason_name(reason)},
+                     {"memory_used_mib", std::to_string(memory_used_)},
+                     {"usable_mib", std::to_string(usable_memory())}});
+  }
+
   // Tear down the victim's offloads.
   std::vector<OffloadId> doomed;
   for (auto& [id, off] : offloads_) {
@@ -252,9 +307,18 @@ void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
   procs_.erase(pit);
 
   switch (reason) {
-    case KillReason::kOom: stats_.oom_kills += 1; break;
-    case KillReason::kContainerLimit: stats_.container_kills += 1; break;
-    case KillReason::kAdmin: stats_.admin_kills += 1; break;
+    case KillReason::kOom:
+      stats_.oom_kills += 1;
+      if (obs_.rec != nullptr) obs_.oom_kills->inc();
+      break;
+    case KillReason::kContainerLimit:
+      stats_.container_kills += 1;
+      if (obs_.rec != nullptr) obs_.container_kills->inc();
+      break;
+    case KillReason::kAdmin:
+      stats_.admin_kills += 1;
+      if (obs_.rec != nullptr) obs_.admin_kills->inc();
+      break;
   }
 
   reconcile();

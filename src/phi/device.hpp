@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "phi/affinity.hpp"
 #include "sim/simulator.hpp"
 
@@ -77,6 +78,10 @@ struct DeviceStats {
   std::uint64_t oom_kills = 0;
   std::uint64_t container_kills = 0;
   std::uint64_t admin_kills = 0;
+  /// Contiguous intervals during which the active offloads' thread demand
+  /// exceeded the hardware threads — counted once per episode, however
+  /// many offloads join while it lasts.
+  std::uint64_t oversub_episodes = 0;
 };
 
 class Device {
@@ -152,6 +157,12 @@ class Device {
     return resident_thread_load_;
   }
 
+  /// Registers this device's instruments under `prefix` (e.g.
+  /// "phi.node0.mic0") and starts recording: busy-core and speed time
+  /// series, kill/oversubscription counters, and per-episode events.
+  /// Without this call telemetry costs one null check per site.
+  void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
+
  private:
   struct Offload {
     OffloadId id = 0;
@@ -182,6 +193,21 @@ class Device {
   /// Tears one process down and (optionally) invokes its kill callback.
   void do_kill(JobId job, KillReason reason, bool invoke_callback = true);
 
+  /// Cached instrument pointers; all null until attach_telemetry.
+  struct Telemetry {
+    obs::Recorder* rec = nullptr;
+    std::string prefix;
+    obs::Counter* oversub_episodes = nullptr;
+    obs::Counter* oom_kills = nullptr;
+    obs::Counter* container_kills = nullptr;
+    obs::Counter* admin_kills = nullptr;
+    obs::Counter* offloads_started = nullptr;
+    obs::Counter* offloads_completed = nullptr;
+    obs::TimeSeriesGauge* speed = nullptr;
+    obs::TimeSeriesGauge* busy_cores = nullptr;
+    obs::TimeHistogram* speed_seconds = nullptr;
+  };
+
   Simulator& sim_;
   DeviceConfig config_;
   std::string name_;
@@ -197,6 +223,8 @@ class Device {
   DeviceStats stats_;
   OffloadId next_offload_id_ = 1;
   bool in_oom_sweep_ = false;
+  bool oversub_active_ = false;
+  Telemetry obs_;
 };
 
 }  // namespace phisched::phi

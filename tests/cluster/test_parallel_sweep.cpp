@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/footprint.hpp"
+#include "obs/recorder.hpp"
 #include "workload/jobset.hpp"
 
 namespace phisched::cluster {
@@ -42,6 +43,37 @@ TEST(ParallelSweep, MoreThreadsThanWork) {
       makespan_by_size_parallel(config, jobs, {1, 2}, /*max_threads=*/16);
   ASSERT_EQ(result.size(), 2u);
   EXPECT_GT(result[0].second, result[1].second);
+}
+
+TEST(ParallelSweep, TelemetryIsBitIdenticalAcrossThreading) {
+  const auto jobs = workload::make_real_jobset(40, Rng(17).child("jobs"));
+  std::vector<ExperimentConfig> configs(3);
+  configs[0].stack = StackConfig::kMC;
+  configs[1].stack = StackConfig::kMCC;
+  configs[2].stack = StackConfig::kMCCK;
+  for (auto& c : configs) {
+    c.node_count = 2;
+    c.telemetry = true;
+  }
+
+  const auto serial = sweep_experiments(configs, jobs);
+  const auto parallel = sweep_experiments_parallel(configs, jobs,
+                                                   /*max_threads=*/3);
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].makespan, parallel[i].makespan);
+    ASSERT_NE(serial[i].telemetry, nullptr);
+    ASSERT_NE(parallel[i].telemetry, nullptr);
+    // Whole snapshots compare equal, counter for counter, event for
+    // event — and so does the serialized export.
+    EXPECT_EQ(*serial[i].telemetry, *parallel[i].telemetry) << "config " << i;
+    EXPECT_EQ(obs::snapshot_json(*serial[i].telemetry),
+              obs::snapshot_json(*parallel[i].telemetry));
+  }
+  // Sanity: the snapshots are not trivially equal-because-empty.
+  EXPECT_FALSE(serial[0].telemetry->metrics.counters.empty());
+  EXPECT_FALSE(serial[0].telemetry->events.empty());
 }
 
 TEST(ParallelSweep, EmptySizes) {

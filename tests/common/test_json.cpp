@@ -1,0 +1,126 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace phisched {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("phi.node0.mic0"), "phi.node0.mic0");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, ShortestRoundTripForm) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(-3.25), "-3.25");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(json_number(std::int64_t{-42}), "-42");
+}
+
+TEST(JsonNumber, NonFiniteRendersNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonValid, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("-1.5e-3"));
+  EXPECT_TRUE(json_valid(R"({"a":[1,2,{"b":"c\n"}],"d":true})"));
+  EXPECT_TRUE(json_valid("  {\n \"k\" : [ 1 , 2 ]\n}\n"));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("1 2"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("{\"a\":1}extra"));
+}
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("name", "run");
+  w.member("count", std::uint64_t{3});
+  w.key("series");
+  w.begin_array();
+  w.value(1.5);
+  w.value(2.5);
+  w.end_array();
+  w.key("none");
+  w.null();
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, R"({"name":"run","count":3,"series":[1.5,2.5],"none":null})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(JsonWriter, PrettyOutputIsValidAndIndented) {
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.member("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(true);
+  w.end_array();
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}\n");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(JsonWriter, RawSplicesPreSerializedValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("inner");
+  w.raw(R"({"x":1})");
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, R"({"inner":{"x":1}})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("o");
+  w.begin_object();
+  w.end_object();
+  w.key("a");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonWriter, EscapesKeys) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("we\"ird", 1);
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, R"({"we\"ird":1})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+}  // namespace
+}  // namespace phisched

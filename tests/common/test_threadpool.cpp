@@ -1,0 +1,110 @@
+#include "common/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace phisched {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ResultsIndependentOfScheduling) {
+  ThreadPool pool(3);
+  std::vector<double> out(257);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MaxParticipantsOneRunsSeriallyInCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.parallel_for(
+      seen.size(),
+      [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+      /*max_participants=*/1);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, MoreItemsThanThreadsCompletes) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{10000} * 9999 / 2);
+}
+
+TEST(ThreadPool, MoreThreadsThanItemsCompletes) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives and runs subsequent jobs.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReentrantCallRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> inner(16);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    pool.parallel_for(4, [&](std::size_t j) {
+      inner[outer * 4 + j].fetch_add(1);
+    });
+  });
+  for (auto& h : inner) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  std::atomic<int> count{0};
+  ThreadPool::shared().parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, UnevenWorkStillCoversAllIndices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    // Skew the cost so stealing actually happens.
+    volatile std::size_t spin = (i < 4) ? 200000 : 10;
+    while (spin > 0) spin = spin - 1;
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+}  // namespace
+}  // namespace phisched

@@ -1,0 +1,136 @@
+// Satellite coverage: drive one phi::Device past its 240 hardware
+// threads and past its usable memory, and check the telemetry layer
+// counts each oversubscription episode and OOM kill exactly once, with
+// matching events.
+#include <gtest/gtest.h>
+
+#include "obs/recorder.hpp"
+#include "phi/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+namespace {
+
+class DeviceMetricsTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  obs::Recorder rec_;
+};
+
+TEST_F(DeviceMetricsTest, OversubEpisodeCountedOncePerEpisode) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  dev.attach_process(3, 16, nullptr);
+
+  // 240 + 240 threads: demand 480 > 240 — the episode begins.
+  dev.start_offload(1, 240, 10, 1.0, nullptr);
+  dev.start_offload(2, 240, 10, 2.0, nullptr);
+  EXPECT_EQ(dev.stats().oversub_episodes, 1u);
+
+  // A third offload joins the SAME episode: still one.
+  dev.start_offload(3, 120, 10, 1.0, nullptr);
+  EXPECT_EQ(dev.stats().oversub_episodes, 1u);
+
+  sim_.run();  // all offloads drain; the episode ends
+
+  // A fresh overload after recovery is a second episode.
+  dev.start_offload(1, 240, 10, 1.0, nullptr);
+  dev.start_offload(2, 240, 10, 1.0, nullptr);
+  EXPECT_EQ(dev.stats().oversub_episodes, 2u);
+  sim_.run();
+
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_EQ(snap.metrics.counters.at("phi.test.mic0.oversub_episodes"), 2u);
+  EXPECT_EQ(rec_.events().of_type("oversub_begin").size(), 2u);
+  EXPECT_EQ(rec_.events().of_type("oversub_end").size(), 2u);
+}
+
+TEST_F(DeviceMetricsTest, StayingWithinBudgetRecordsNoEpisode) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  dev.start_offload(1, 120, 10, 1.0, nullptr);
+  dev.start_offload(2, 120, 10, 1.0, nullptr);  // exactly 240: not over
+  sim_.run();
+  EXPECT_EQ(dev.stats().oversub_episodes, 0u);
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_EQ(snap.metrics.counters.at("phi.test.mic0.oversub_episodes"), 0u);
+  EXPECT_TRUE(rec_.events().of_type("oversub_begin").empty());
+}
+
+TEST_F(DeviceMetricsTest, OomKillCountedOnceWithEvent) {
+  Device dev(sim_, DeviceConfig{}, Rng(7));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+
+  int killed = 0;
+  KillReason seen = KillReason::kAdmin;
+  dev.attach_process(1, 4000, [&](JobId, KillReason r) {
+    ++killed;
+    seen = r;
+  });
+  // The device has 8192 - 512 = 7680 usable MiB; the second process
+  // pushes residency past it and the OOM killer fires exactly once.
+  dev.attach_process(2, 4000, [&](JobId, KillReason r) {
+    ++killed;
+    seen = r;
+  });
+
+  EXPECT_EQ(killed, 1);
+  EXPECT_EQ(seen, KillReason::kOom);
+  EXPECT_EQ(dev.stats().oom_kills, 1u);
+
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_EQ(snap.metrics.counters.at("phi.test.mic0.oom_kills"), 1u);
+  const auto kills = rec_.events().of_type("kill");
+  ASSERT_EQ(kills.size(), 1u);
+  ASSERT_GE(kills[0].fields.size(), 3u);
+  EXPECT_EQ(kills[0].fields[0].first, "device");
+  EXPECT_EQ(kills[0].fields[0].second, "phi.test.mic0");
+  EXPECT_EQ(kills[0].fields[2].first, "reason");
+  EXPECT_EQ(kills[0].fields[2].second, "oom");
+}
+
+TEST_F(DeviceMetricsTest, OffloadCountersAndSpeedSeries) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  // 2x oversubscription at exponent 3 → speed 1/8 for the whole overlap.
+  dev.start_offload(1, 240, 10, 1.0, nullptr);
+  dev.start_offload(2, 240, 10, 1.0, nullptr);
+  sim_.run();
+
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_EQ(snap.metrics.counters.at("phi.test.mic0.offloads_started"), 2u);
+  EXPECT_EQ(snap.metrics.counters.at("phi.test.mic0.offloads_completed"), 2u);
+  // Both offloads ran at speed 0.125 until they finished together.
+  EXPECT_NEAR(snap.metrics.gauges.at("phi.test.mic0.speed.mean"), 0.125, 1e-9);
+  // The time histogram charged the whole 8-second run to the bin holding
+  // speed 0.125 (bin 1 of 10 over [0, 1)).
+  const auto& hist =
+      snap.metrics.histograms.at("phi.test.mic0.speed_seconds");
+  ASSERT_EQ(hist.counts.size(), 10u);
+  EXPECT_NEAR(hist.counts[1], sim_.now(), 1e-9);
+}
+
+TEST_F(DeviceMetricsTest, DetachedDeviceRecordsNothing) {
+  Device dev(sim_, DeviceConfig{}, Rng(1));  // no attach_telemetry
+  dev.attach_process(1, 4000, nullptr);
+  dev.attach_process(2, 4000, nullptr);  // OOM kill, silently
+  EXPECT_EQ(dev.stats().oom_kills, 1u);
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_TRUE(snap.metrics.counters.empty());
+  EXPECT_TRUE(snap.events.empty());
+}
+
+}  // namespace
+}  // namespace phisched::phi

@@ -7,11 +7,14 @@
 //   phisched_cli --stack MCC --arrival-rate 2.0 --csv out.csv
 //   phisched_cli --help
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "cluster/report.hpp"
 #include "common/args.hpp"
+#include "common/json.hpp"
 #include "common/sparkline.hpp"
+#include "obs/recorder.hpp"
 #include "workload/io.hpp"
 #include "workload/jobset.hpp"
 
@@ -36,6 +39,10 @@ options:
   --overcommit X        MCCK thread overcommit factor (default 1.5)
   --series              print a utilization sparkline (samples every 10 s)
   --csv PATH            append results as CSV to PATH
+  --metrics-out PATH    record full telemetry; write the flattened metrics
+                        of every run as JSON to PATH
+  --events-out PATH     record full telemetry; write the structured event
+                        logs (sim-time ordered) as JSON to PATH
   --save-jobs PATH      write the generated job set to PATH and exit
   --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
   --help                this text
@@ -86,7 +93,8 @@ int main(int argc, char** argv) {
     const auto unknown = args.unknown(
         {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
          "arrival-rate", "negotiation-interval", "overcommit", "series",
-         "csv", "save-jobs", "load-jobs", "help"});
+         "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
+         "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());
@@ -133,6 +141,10 @@ int main(int argc, char** argv) {
     config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
     if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
 
+    const auto metrics_path = args.get("metrics-out");
+    const auto events_path = args.get("events-out");
+    config.telemetry = metrics_path.has_value() || events_path.has_value();
+
     std::vector<cluster::NamedResult> results;
     if (args.get_bool_or("compare", false)) {
       for (const auto stack :
@@ -175,6 +187,51 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("\nwrote %s\n", path->c_str());
+    }
+
+    // Telemetry exports: one document each, with a "runs" array so
+    // --compare keeps the per-stack snapshots side by side.
+    auto write_runs = [&results](const std::string& path,
+                                 const char* section,
+                                 const auto& render) {
+      JsonWriter w(/*pretty=*/true);
+      w.begin_object();
+      w.key("runs");
+      w.begin_array();
+      for (const auto& named : results) {
+        w.begin_object();
+        w.member("name", named.name);
+        w.key(section);
+        w.raw(render(named));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) return false;
+      out << std::move(w).str() << '\n';
+      return out.good();
+    };
+    if (metrics_path.has_value()) {
+      const bool ok =
+          write_runs(*metrics_path, "metrics", [](const auto& named) {
+            return obs::metrics_json(named.result.telemetry->metrics);
+          });
+      if (!ok) {
+        std::fprintf(stderr, "failed to write %s\n", metrics_path->c_str());
+        return 1;
+      }
+      std::printf("\nwrote %s\n", metrics_path->c_str());
+    }
+    if (events_path.has_value()) {
+      const bool ok = write_runs(*events_path, "events", [](const auto& named) {
+        return obs::events_json(named.result.telemetry->events);
+      });
+      if (!ok) {
+        std::fprintf(stderr, "failed to write %s\n", events_path->c_str());
+        return 1;
+      }
+      std::printf("\nwrote %s\n", events_path->c_str());
     }
     return 0;
   } catch (const std::exception& e) {
