@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("sim")
+subdirs("classad")
+subdirs("workload")
+subdirs("phi")
+subdirs("cosmic")
+subdirs("condor")
+subdirs("knapsack")
+subdirs("core")
+subdirs("cluster")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classad/classad.cpp" "src/classad/CMakeFiles/phisched_classad.dir/classad.cpp.o" "gcc" "src/classad/CMakeFiles/phisched_classad.dir/classad.cpp.o.d"
+  "/root/repo/src/classad/eval.cpp" "src/classad/CMakeFiles/phisched_classad.dir/eval.cpp.o" "gcc" "src/classad/CMakeFiles/phisched_classad.dir/eval.cpp.o.d"
+  "/root/repo/src/classad/lexer.cpp" "src/classad/CMakeFiles/phisched_classad.dir/lexer.cpp.o" "gcc" "src/classad/CMakeFiles/phisched_classad.dir/lexer.cpp.o.d"
+  "/root/repo/src/classad/parser.cpp" "src/classad/CMakeFiles/phisched_classad.dir/parser.cpp.o" "gcc" "src/classad/CMakeFiles/phisched_classad.dir/parser.cpp.o.d"
+  "/root/repo/src/classad/value.cpp" "src/classad/CMakeFiles/phisched_classad.dir/value.cpp.o" "gcc" "src/classad/CMakeFiles/phisched_classad.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_classad.dir/classad.cpp.o"
+  "CMakeFiles/phisched_classad.dir/classad.cpp.o.d"
+  "CMakeFiles/phisched_classad.dir/eval.cpp.o"
+  "CMakeFiles/phisched_classad.dir/eval.cpp.o.d"
+  "CMakeFiles/phisched_classad.dir/lexer.cpp.o"
+  "CMakeFiles/phisched_classad.dir/lexer.cpp.o.d"
+  "CMakeFiles/phisched_classad.dir/parser.cpp.o"
+  "CMakeFiles/phisched_classad.dir/parser.cpp.o.d"
+  "CMakeFiles/phisched_classad.dir/value.cpp.o"
+  "CMakeFiles/phisched_classad.dir/value.cpp.o.d"
+  "libphisched_classad.a"
+  "libphisched_classad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

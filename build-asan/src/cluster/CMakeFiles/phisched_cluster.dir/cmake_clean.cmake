@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_cluster.dir/experiment.cpp.o"
+  "CMakeFiles/phisched_cluster.dir/experiment.cpp.o.d"
+  "CMakeFiles/phisched_cluster.dir/footprint.cpp.o"
+  "CMakeFiles/phisched_cluster.dir/footprint.cpp.o.d"
+  "CMakeFiles/phisched_cluster.dir/jobrun.cpp.o"
+  "CMakeFiles/phisched_cluster.dir/jobrun.cpp.o.d"
+  "CMakeFiles/phisched_cluster.dir/node.cpp.o"
+  "CMakeFiles/phisched_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/phisched_cluster.dir/report.cpp.o"
+  "CMakeFiles/phisched_cluster.dir/report.cpp.o.d"
+  "libphisched_cluster.a"
+  "libphisched_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cpp" "src/common/CMakeFiles/phisched_common.dir/args.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/args.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/phisched_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/phisched_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/phisched_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/phisched_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/phisched_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/sparkline.cpp" "src/common/CMakeFiles/phisched_common.dir/sparkline.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/sparkline.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/phisched_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/phisched_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "src/common/CMakeFiles/phisched_common.dir/threadpool.cpp.o" "gcc" "src/common/CMakeFiles/phisched_common.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_common.dir/args.cpp.o"
+  "CMakeFiles/phisched_common.dir/args.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/error.cpp.o"
+  "CMakeFiles/phisched_common.dir/error.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/histogram.cpp.o"
+  "CMakeFiles/phisched_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/json.cpp.o"
+  "CMakeFiles/phisched_common.dir/json.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/log.cpp.o"
+  "CMakeFiles/phisched_common.dir/log.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/rng.cpp.o"
+  "CMakeFiles/phisched_common.dir/rng.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/sparkline.cpp.o"
+  "CMakeFiles/phisched_common.dir/sparkline.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/stats.cpp.o"
+  "CMakeFiles/phisched_common.dir/stats.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/table.cpp.o"
+  "CMakeFiles/phisched_common.dir/table.cpp.o.d"
+  "CMakeFiles/phisched_common.dir/threadpool.cpp.o"
+  "CMakeFiles/phisched_common.dir/threadpool.cpp.o.d"
+  "libphisched_common.a"
+  "libphisched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for phisched_common.
+# This may be replaced when dependencies are built.

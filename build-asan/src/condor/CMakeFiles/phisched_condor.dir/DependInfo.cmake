@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/condor/ads.cpp" "src/condor/CMakeFiles/phisched_condor.dir/ads.cpp.o" "gcc" "src/condor/CMakeFiles/phisched_condor.dir/ads.cpp.o.d"
+  "/root/repo/src/condor/collector.cpp" "src/condor/CMakeFiles/phisched_condor.dir/collector.cpp.o" "gcc" "src/condor/CMakeFiles/phisched_condor.dir/collector.cpp.o.d"
+  "/root/repo/src/condor/negotiator.cpp" "src/condor/CMakeFiles/phisched_condor.dir/negotiator.cpp.o" "gcc" "src/condor/CMakeFiles/phisched_condor.dir/negotiator.cpp.o.d"
+  "/root/repo/src/condor/schedd.cpp" "src/condor/CMakeFiles/phisched_condor.dir/schedd.cpp.o" "gcc" "src/condor/CMakeFiles/phisched_condor.dir/schedd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

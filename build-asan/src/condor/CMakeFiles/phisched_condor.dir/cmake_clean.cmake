@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_condor.dir/ads.cpp.o"
+  "CMakeFiles/phisched_condor.dir/ads.cpp.o.d"
+  "CMakeFiles/phisched_condor.dir/collector.cpp.o"
+  "CMakeFiles/phisched_condor.dir/collector.cpp.o.d"
+  "CMakeFiles/phisched_condor.dir/negotiator.cpp.o"
+  "CMakeFiles/phisched_condor.dir/negotiator.cpp.o.d"
+  "CMakeFiles/phisched_condor.dir/schedd.cpp.o"
+  "CMakeFiles/phisched_condor.dir/schedd.cpp.o.d"
+  "libphisched_condor.a"
+  "libphisched_condor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

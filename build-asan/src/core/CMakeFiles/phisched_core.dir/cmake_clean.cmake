@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_core.dir/addon.cpp.o"
+  "CMakeFiles/phisched_core.dir/addon.cpp.o.d"
+  "CMakeFiles/phisched_core.dir/policy.cpp.o"
+  "CMakeFiles/phisched_core.dir/policy.cpp.o.d"
+  "libphisched_core.a"
+  "libphisched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmic/middleware.cpp" "src/cosmic/CMakeFiles/phisched_cosmic.dir/middleware.cpp.o" "gcc" "src/cosmic/CMakeFiles/phisched_cosmic.dir/middleware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_cosmic.dir/middleware.cpp.o"
+  "CMakeFiles/phisched_cosmic.dir/middleware.cpp.o.d"
+  "libphisched_cosmic.a"
+  "libphisched_cosmic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_cosmic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

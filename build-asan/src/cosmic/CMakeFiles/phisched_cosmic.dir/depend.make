@@ -1,0 +1,2 @@
+# Empty dependencies file for phisched_cosmic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knapsack/bnb.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/bnb.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/bnb.cpp.o.d"
+  "/root/repo/src/knapsack/dp1d.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/dp1d.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/dp1d.cpp.o.d"
+  "/root/repo/src/knapsack/dp2d.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/dp2d.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/dp2d.cpp.o.d"
+  "/root/repo/src/knapsack/greedy.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/greedy.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/greedy.cpp.o.d"
+  "/root/repo/src/knapsack/item.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/item.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/item.cpp.o.d"
+  "/root/repo/src/knapsack/solver.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/solver.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/solver.cpp.o.d"
+  "/root/repo/src/knapsack/value.cpp" "src/knapsack/CMakeFiles/phisched_knapsack.dir/value.cpp.o" "gcc" "src/knapsack/CMakeFiles/phisched_knapsack.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

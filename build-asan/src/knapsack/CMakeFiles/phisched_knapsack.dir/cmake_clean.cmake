@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_knapsack.dir/bnb.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/bnb.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/dp1d.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/dp1d.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/dp2d.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/dp2d.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/greedy.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/greedy.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/item.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/item.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/solver.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/solver.cpp.o.d"
+  "CMakeFiles/phisched_knapsack.dir/value.cpp.o"
+  "CMakeFiles/phisched_knapsack.dir/value.cpp.o.d"
+  "libphisched_knapsack.a"
+  "libphisched_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/events.cpp" "src/obs/CMakeFiles/phisched_obs.dir/events.cpp.o" "gcc" "src/obs/CMakeFiles/phisched_obs.dir/events.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/phisched_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/phisched_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/recorder.cpp" "src/obs/CMakeFiles/phisched_obs.dir/recorder.cpp.o" "gcc" "src/obs/CMakeFiles/phisched_obs.dir/recorder.cpp.o.d"
+  "/root/repo/src/obs/seedsweep.cpp" "src/obs/CMakeFiles/phisched_obs.dir/seedsweep.cpp.o" "gcc" "src/obs/CMakeFiles/phisched_obs.dir/seedsweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

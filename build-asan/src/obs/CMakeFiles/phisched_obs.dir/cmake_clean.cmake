@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_obs.dir/events.cpp.o"
+  "CMakeFiles/phisched_obs.dir/events.cpp.o.d"
+  "CMakeFiles/phisched_obs.dir/metrics.cpp.o"
+  "CMakeFiles/phisched_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/phisched_obs.dir/recorder.cpp.o"
+  "CMakeFiles/phisched_obs.dir/recorder.cpp.o.d"
+  "CMakeFiles/phisched_obs.dir/seedsweep.cpp.o"
+  "CMakeFiles/phisched_obs.dir/seedsweep.cpp.o.d"
+  "libphisched_obs.a"
+  "libphisched_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

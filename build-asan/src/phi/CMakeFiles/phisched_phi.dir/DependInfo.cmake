@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phi/affinity.cpp" "src/phi/CMakeFiles/phisched_phi.dir/affinity.cpp.o" "gcc" "src/phi/CMakeFiles/phisched_phi.dir/affinity.cpp.o.d"
+  "/root/repo/src/phi/device.cpp" "src/phi/CMakeFiles/phisched_phi.dir/device.cpp.o" "gcc" "src/phi/CMakeFiles/phisched_phi.dir/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_phi.dir/affinity.cpp.o"
+  "CMakeFiles/phisched_phi.dir/affinity.cpp.o.d"
+  "CMakeFiles/phisched_phi.dir/device.cpp.o"
+  "CMakeFiles/phisched_phi.dir/device.cpp.o.d"
+  "libphisched_phi.a"
+  "libphisched_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

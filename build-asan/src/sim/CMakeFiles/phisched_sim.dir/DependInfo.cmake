@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/phisched_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/phisched_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/sim/CMakeFiles/phisched_sim.dir/timer.cpp.o" "gcc" "src/sim/CMakeFiles/phisched_sim.dir/timer.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/phisched_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/phisched_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/phisched_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/phisched_sim.dir/timer.cpp.o"
+  "CMakeFiles/phisched_sim.dir/timer.cpp.o.d"
+  "CMakeFiles/phisched_sim.dir/trace.cpp.o"
+  "CMakeFiles/phisched_sim.dir/trace.cpp.o.d"
+  "libphisched_sim.a"
+  "libphisched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/estimator.cpp" "src/workload/CMakeFiles/phisched_workload.dir/estimator.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/estimator.cpp.o.d"
+  "/root/repo/src/workload/io.cpp" "src/workload/CMakeFiles/phisched_workload.dir/io.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/io.cpp.o.d"
+  "/root/repo/src/workload/jobset.cpp" "src/workload/CMakeFiles/phisched_workload.dir/jobset.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/jobset.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/phisched_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/phisched_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/templates.cpp" "src/workload/CMakeFiles/phisched_workload.dir/templates.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/templates.cpp.o.d"
+  "/root/repo/src/workload/validate.cpp" "src/workload/CMakeFiles/phisched_workload.dir/validate.cpp.o" "gcc" "src/workload/CMakeFiles/phisched_workload.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_workload.dir/estimator.cpp.o"
+  "CMakeFiles/phisched_workload.dir/estimator.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/io.cpp.o"
+  "CMakeFiles/phisched_workload.dir/io.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/jobset.cpp.o"
+  "CMakeFiles/phisched_workload.dir/jobset.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/profile.cpp.o"
+  "CMakeFiles/phisched_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/phisched_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/templates.cpp.o"
+  "CMakeFiles/phisched_workload.dir/templates.cpp.o.d"
+  "CMakeFiles/phisched_workload.dir/validate.cpp.o"
+  "CMakeFiles/phisched_workload.dir/validate.cpp.o.d"
+  "libphisched_workload.a"
+  "libphisched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

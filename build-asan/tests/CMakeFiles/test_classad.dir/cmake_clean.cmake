@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classad.dir/classad/test_builtins_ext.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_builtins_ext.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_classad.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_classad.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_eval.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_eval.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_lexer.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_lexer.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_match.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_match.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_parse_ad.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_parse_ad.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_parser.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_parser.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_roundtrip_property.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_roundtrip_property.cpp.o.d"
+  "CMakeFiles/test_classad.dir/classad/test_value.cpp.o"
+  "CMakeFiles/test_classad.dir/classad/test_value.cpp.o.d"
+  "test_classad"
+  "test_classad.pdb"
+  "test_classad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_dynamic.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_dynamic.cpp.o.d"
+  "/root/repo/tests/cluster/test_experiment.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_experiment.cpp.o.d"
+  "/root/repo/tests/cluster/test_gang_experiment.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_gang_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_gang_experiment.cpp.o.d"
+  "/root/repo/tests/cluster/test_jobrun.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_jobrun.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_jobrun.cpp.o.d"
+  "/root/repo/tests/cluster/test_node.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o.d"
+  "/root/repo/tests/cluster/test_parallel_sweep.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_parallel_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_parallel_sweep.cpp.o.d"
+  "/root/repo/tests/cluster/test_report.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_report.cpp.o.d"
+  "/root/repo/tests/cluster/test_retries.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_retries.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_retries.cpp.o.d"
+  "/root/repo/tests/cluster/test_telemetry.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/phisched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/phisched_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/condor/CMakeFiles/phisched_condor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/knapsack/CMakeFiles/phisched_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cosmic/CMakeFiles/phisched_cosmic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

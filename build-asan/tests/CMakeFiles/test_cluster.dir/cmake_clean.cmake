@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_dynamic.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_dynamic.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_experiment.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_experiment.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_gang_experiment.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_gang_experiment.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_jobrun.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_jobrun.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_node.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_parallel_sweep.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_parallel_sweep.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_report.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_report.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_retries.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_retries.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_telemetry.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_telemetry.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

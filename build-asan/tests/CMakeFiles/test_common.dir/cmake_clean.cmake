@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_args.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_args.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_error.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_error.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_json.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_json.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_quantize.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_quantize.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_sparkline.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_sparkline.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_threadpool.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_threadpool.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

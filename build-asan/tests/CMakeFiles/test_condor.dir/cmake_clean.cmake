@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condor.dir/condor/test_ads.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_ads.cpp.o.d"
+  "CMakeFiles/test_condor.dir/condor/test_collector.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_collector.cpp.o.d"
+  "CMakeFiles/test_condor.dir/condor/test_negotiator.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_negotiator.cpp.o.d"
+  "CMakeFiles/test_condor.dir/condor/test_priority.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_priority.cpp.o.d"
+  "CMakeFiles/test_condor.dir/condor/test_rank.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_rank.cpp.o.d"
+  "CMakeFiles/test_condor.dir/condor/test_schedd.cpp.o"
+  "CMakeFiles/test_condor.dir/condor/test_schedd.cpp.o.d"
+  "test_condor"
+  "test_condor.pdb"
+  "test_condor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cosmic/test_containers.cpp" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_containers.cpp.o" "gcc" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_containers.cpp.o.d"
+  "/root/repo/tests/cosmic/test_gang.cpp" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_gang.cpp.o" "gcc" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_gang.cpp.o.d"
+  "/root/repo/tests/cosmic/test_middleware.cpp" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_middleware.cpp.o" "gcc" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_middleware.cpp.o.d"
+  "/root/repo/tests/cosmic/test_pcie.cpp" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_pcie.cpp.o" "gcc" "tests/CMakeFiles/test_cosmic.dir/cosmic/test_pcie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/phisched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/phisched_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/condor/CMakeFiles/phisched_condor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/knapsack/CMakeFiles/phisched_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cosmic/CMakeFiles/phisched_cosmic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

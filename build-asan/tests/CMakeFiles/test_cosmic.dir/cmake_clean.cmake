@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmic.dir/cosmic/test_containers.cpp.o"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_containers.cpp.o.d"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_gang.cpp.o"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_gang.cpp.o.d"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_middleware.cpp.o"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_middleware.cpp.o.d"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_pcie.cpp.o"
+  "CMakeFiles/test_cosmic.dir/cosmic/test_pcie.cpp.o.d"
+  "test_cosmic"
+  "test_cosmic.pdb"
+  "test_cosmic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

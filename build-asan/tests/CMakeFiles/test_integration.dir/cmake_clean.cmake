@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knapsack.dir/knapsack/test_dp1d.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_dp1d.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_dp2d.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_dp2d.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_greedy.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_greedy.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_property.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_property.cpp.o.d"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_value.cpp.o"
+  "CMakeFiles/test_knapsack.dir/knapsack/test_value.cpp.o.d"
+  "test_knapsack"
+  "test_knapsack.pdb"
+  "test_knapsack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/obs/test_device_metrics.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_device_metrics.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_json_export.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_json_export.cpp.o.d"
+  "test_obs"
+  "test_obs.pdb"
+  "test_obs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phi.dir/phi/test_affinity.cpp.o"
+  "CMakeFiles/test_phi.dir/phi/test_affinity.cpp.o.d"
+  "CMakeFiles/test_phi.dir/phi/test_device.cpp.o"
+  "CMakeFiles/test_phi.dir/phi/test_device.cpp.o.d"
+  "CMakeFiles/test_phi.dir/phi/test_energy.cpp.o"
+  "CMakeFiles/test_phi.dir/phi/test_energy.cpp.o.d"
+  "CMakeFiles/test_phi.dir/phi/test_oversubscription.cpp.o"
+  "CMakeFiles/test_phi.dir/phi/test_oversubscription.cpp.o.d"
+  "test_phi"
+  "test_phi.pdb"
+  "test_phi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cancellation_property.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cancellation_property.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_timer.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_timer.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

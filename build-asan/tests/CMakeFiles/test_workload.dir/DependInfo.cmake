@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_estimator.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_estimator.cpp.o.d"
+  "/root/repo/tests/workload/test_io.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_io.cpp.o.d"
+  "/root/repo/tests/workload/test_jobset.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_jobset.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_jobset.cpp.o.d"
+  "/root/repo/tests/workload/test_profile.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_profile.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_profile.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o.d"
+  "/root/repo/tests/workload/test_templates.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_templates.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_templates.cpp.o.d"
+  "/root/repo/tests/workload/test_validate.cpp" "tests/CMakeFiles/test_workload.dir/workload/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/phisched_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/phisched_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/condor/CMakeFiles/phisched_condor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/knapsack/CMakeFiles/phisched_knapsack.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cosmic/CMakeFiles/phisched_cosmic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phi/CMakeFiles/phisched_phi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/phisched_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/classad/CMakeFiles/phisched_classad.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/phisched_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/phisched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/phisched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

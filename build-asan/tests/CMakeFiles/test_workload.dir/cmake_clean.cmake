@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_estimator.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_estimator.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_io.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_io.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_jobset.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_jobset.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_profile.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_profile.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_templates.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_templates.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_validate.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_validate.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

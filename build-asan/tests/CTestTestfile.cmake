@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_classad[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_phi[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cosmic[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_condor[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_knapsack[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+add_test([=[cli_help]=] "/root/repo/build-asan/tools/phisched_cli" "--help")
+set_tests_properties([=[cli_help]=] PROPERTIES  PASS_REGULAR_EXPRESSION "phisched_cli" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;121;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_compare_small]=] "/root/repo/build-asan/tools/phisched_cli" "--compare" "--jobs" "20" "--nodes" "2" "--seed" "7")
+set_tests_properties([=[cli_compare_small]=] PROPERTIES  PASS_REGULAR_EXPRESSION "MCCK" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;123;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_unknown_flag]=] "/root/repo/build-asan/tools/phisched_cli" "--frobnicate")
+set_tests_properties([=[cli_unknown_flag]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;127;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_jobset_roundtrip]=] "/usr/bin/cmake" "-DCLI=/root/repo/build-asan/tools/phisched_cli" "-DJOBSTATS=/root/repo/build-asan/tools/phisched_jobstats" "-DWORKDIR=/root/repo/build-asan/tests" "-P" "/root/repo/tests/cli_jobset_roundtrip.cmake")
+set_tests_properties([=[cli_jobset_roundtrip]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;129;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_cli.dir/phisched_cli.cpp.o"
+  "CMakeFiles/phisched_cli.dir/phisched_cli.cpp.o.d"
+  "phisched_cli"
+  "phisched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phisched_jobstats.dir/phisched_jobstats.cpp.o"
+  "CMakeFiles/phisched_jobstats.dir/phisched_jobstats.cpp.o.d"
+  "phisched_jobstats"
+  "phisched_jobstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phisched_jobstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
