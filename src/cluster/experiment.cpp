@@ -96,6 +96,7 @@ class Experiment {
     nc.middleware.drain = config_.drain;
     nc.middleware.queued_resume_overhead_s = config_.queued_resume_overhead;
     nc.middleware.pcie_bandwidth_mib_s = config_.pcie_bandwidth_mib_s;
+    nc.device.pcie = config_.pcie;
 
     for (NodeId n = 0; n < static_cast<NodeId>(config_.node_count); ++n) {
       nodes_.push_back(std::make_unique<Node>(
@@ -318,6 +319,10 @@ class Experiment {
     double util_sum = 0.0;
     for (const auto& node : nodes_) {
       for (DeviceId d = 0; d < node->device_count(); ++d) {
+        // Close out per-device telemetry (flush busy time, end any
+        // oversubscription episode the run stopped inside) before the
+        // snapshot below reads it.
+        node->device(d).finalize_telemetry();
         const phi::Device& dev = node->device(d);
         const double u = r.makespan > 0.0 ? dev.core_utilization(r.makespan) : 0.0;
         r.per_device_utilization.push_back(u);

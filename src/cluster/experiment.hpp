@@ -15,6 +15,7 @@
 #include "cosmic/middleware.hpp"
 #include "core/policy.hpp"
 #include "obs/recorder.hpp"
+#include "phi/pcie.hpp"
 #include "workload/jobspec.hpp"
 
 namespace phisched::cluster {
@@ -67,6 +68,12 @@ struct ExperimentConfig {
   /// explicit transfer model (the calibrated default — transfer cost is
   /// then implicit in offload durations).
   double pcie_bandwidth_mib_s = 0.0;
+  /// Per-device PCIe link contention model (phi::PcieLink): off by
+  /// default so all calibrated outputs reproduce bit-identically; when
+  /// pcie.contention is set, offload input/output transfers share each
+  /// card's link fair-share and concurrent containers contend. Mutually
+  /// exclusive with pcie_bandwidth_mib_s.
+  phi::PcieLinkConfig pcie{};
   /// Failure-injection switch: run the sharing stacks WITHOUT COSMIC's
   /// memory containers, exposing lying jobs to the raw OOM killer.
   bool disable_containers_for_testing = false;

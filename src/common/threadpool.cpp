@@ -127,10 +127,13 @@ void ThreadPool::run_participant(ParallelJob& job, std::size_t me) {
     }
   }
   {
+    // Notify while still holding the lock: the caller destroys the
+    // stack-allocated job as soon as its predicate holds, so signalling
+    // after unlocking would race the condition variable's destruction.
     std::lock_guard<std::mutex> lock(job.done_m);
     job.finished += 1;
+    job.done_cv.notify_all();
   }
-  job.done_cv.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,

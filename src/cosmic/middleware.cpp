@@ -1,6 +1,7 @@
 #include "cosmic/middleware.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -17,6 +18,10 @@ NodeMiddleware::NodeMiddleware(Simulator& sim,
   devices_.reserve(devices.size());
   for (phi::Device* d : devices) {
     PHISCHED_REQUIRE(d != nullptr, "NodeMiddleware: null device");
+    PHISCHED_REQUIRE(
+        !(d->pcie_link().enabled() && config_.pcie_bandwidth_mib_s > 0.0),
+        "NodeMiddleware: enable either the serialized PCIe staging model "
+        "or per-device link contention, not both");
     DeviceState ds;
     ds.device = d;
     devices_.push_back(std::move(ds));
@@ -39,18 +44,30 @@ void NodeMiddleware::attach_telemetry(obs::Recorder& recorder,
   obs_.admission_depth = &m.series(prefix + ".admission_queue_depth");
   obs_.admission_depth->set(sim_.now(),
                             static_cast<double>(job_queue_.size()));
-  obs_.queue_depth.clear();
+  // Rebuild the per-device series bindings into a fresh vector and swap it
+  // in whole, so a re-registration (second attach_telemetry call) can
+  // never leave note_queue_depth racing a partially rebuilt vector.
+  std::vector<obs::TimeSeriesGauge*> depths;
+  depths.reserve(devices_.size());
   for (std::size_t d = 0; d < devices_.size(); ++d) {
     obs::TimeSeriesGauge* depth =
         &m.series(prefix + ".mic" + std::to_string(d) + ".queue_depth");
     depth->set(sim_.now(), static_cast<double>(devices_[d].queue.size()));
-    obs_.queue_depth.push_back(depth);
+    depths.push_back(depth);
   }
+  obs_.queue_depth = std::move(depths);
+  PHISCHED_CHECK(obs_.queue_depth.size() == devices_.size(),
+                 "attach_telemetry: per-device series binding incomplete");
 }
 
 void NodeMiddleware::note_queue_depth(DeviceId d) {
   if (obs_.rec == nullptr) return;
   const auto i = static_cast<std::size_t>(d);
+  // Fail loudly rather than index a stale binding: the vector must cover
+  // every device whenever a recorder is attached.
+  PHISCHED_CHECK(i < obs_.queue_depth.size(),
+                 "note_queue_depth: telemetry bound to fewer series than "
+                 "devices (attach_telemetry re-registration bug)");
   obs_.queue_depth[i]->set(sim_.now(),
                            static_cast<double>(devices_[i].queue.size()));
 }
@@ -312,6 +329,31 @@ void NodeMiddleware::request_offload(JobId job, ThreadCount threads,
           static_cast<std::size_t>(device_index) < it->second.devices.size(),
       "request_offload: device index outside the job's gang");
 
+  // Per-device link contention: the input working set crosses the target
+  // card's fair-share PCIe link before the offload can be considered for
+  // device admission, so concurrent containers slow each other down. The
+  // link drops the transfer (callback never fires) if the job is killed
+  // while its bytes are in flight.
+  const DeviceId target =
+      it->second.devices[static_cast<std::size_t>(device_index)];
+  phi::PcieLink& link =
+      devices_[static_cast<std::size_t>(target)].device->pcie_link();
+  if (link.enabled() && memory > 0) {
+    link.start_transfer(
+        job, memory, phi::XferDir::kIn,
+        [this, job, threads, memory, duration, device_index,
+         on_complete = std::move(on_complete),
+         on_start = std::move(on_start)]() mutable {
+          // Killed jobs' transfers are cancelled at the link, but stay
+          // defensive against a kill landing in the same timestep.
+          if (jobs_.find(job) == jobs_.end()) return;
+          admit_offload(job, threads, memory, duration,
+                        std::move(on_complete), std::move(on_start),
+                        device_index);
+        });
+    return;
+  }
+
   // Optional PCIe staging: the working set crosses the node's shared bus
   // (strictly serialized) before the offload can be considered for
   // device admission.
@@ -383,12 +425,30 @@ void NodeMiddleware::start_now(DeviceId d, PendingOffload pending,
       (was_queued ? config_.queued_resume_overhead_s : 0.0);
   if (pending.on_start) pending.on_start();
   auto on_complete = std::move(pending.on_complete);
+  const JobId job = pending.job;
+  const MiB memory = pending.memory;
   ds.device->start_offload(
-      pending.job, pending.threads, pending.memory, duration,
-      [this, d, cb = std::move(on_complete)]() {
+      job, pending.threads, memory, duration,
+      [this, d, job, memory, cb = std::move(on_complete)]() {
         // Freeing threads may let queued offloads run; admit them before
         // the job continues so queue order stays FIFO-biased.
         drain_queue(d);
+        // Link contention: the results cross back over the card's PCIe
+        // link before the job sees the completion. A kill while the
+        // output is in flight drops the transfer and the callback.
+        phi::PcieLink& link =
+            devices_[static_cast<std::size_t>(d)].device->pcie_link();
+        const MiB out_mib =
+            link.enabled()
+                ? static_cast<MiB>(std::llround(
+                      static_cast<double>(memory) *
+                      link.config().output_fraction))
+                : 0;
+        if (out_mib > 0 && jobs_.find(job) != jobs_.end()) {
+          link.start_transfer(job, out_mib, phi::XferDir::kOut,
+                              [cb]() { if (cb) cb(); });
+          return;
+        }
         if (cb) cb();
       });
 }

@@ -69,6 +69,13 @@ struct MiddlewareConfig {
   /// this bandwidth before it can be admitted to a device. 0 disables the
   /// model — transfer costs are then considered part of the measured
   /// offload durations, which is how the main experiments are calibrated.
+  ///
+  /// Mutually exclusive with the per-device contention model
+  /// (phi::DeviceConfig::pcie.contention): when THAT is on, every
+  /// offload's input working set crosses the target device's fair-share
+  /// PcieLink before admission and its results cross back before the
+  /// completion callback fires, so concurrent containers on one card
+  /// contend for the bus.
   double pcie_bandwidth_mib_s = 0.0;
 };
 

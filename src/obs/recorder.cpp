@@ -62,6 +62,49 @@ std::string events_json(const std::vector<Event>& events, bool pretty) {
   return std::move(w).str();
 }
 
+namespace {
+
+[[nodiscard]] bool has_prefix(const std::string& name,
+                              const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (name.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MetricsSnapshot filter_metrics(const MetricsSnapshot& snap,
+                               const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return snap;
+  MetricsSnapshot out;
+  for (const auto& [name, v] : snap.counters) {
+    if (has_prefix(name, prefixes)) out.counters.emplace(name, v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (has_prefix(name, prefixes)) out.gauges.emplace(name, v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (has_prefix(name, prefixes)) out.histograms.emplace(name, h);
+  }
+  return out;
+}
+
+std::vector<Event> filter_events(const std::vector<Event>& events,
+                                 const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return events;
+  std::vector<Event> out;
+  for (const Event& e : events) {
+    bool keep = has_prefix(e.type, prefixes);
+    for (const auto& [_, value] : e.fields) {
+      if (keep) break;
+      keep = has_prefix(value, prefixes);
+    }
+    if (keep) out.push_back(e);
+  }
+  return out;
+}
+
 std::string snapshot_json(const Snapshot& snap, bool pretty) {
   JsonWriter w(pretty);
   w.begin_object();

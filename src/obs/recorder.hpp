@@ -62,4 +62,18 @@ struct Snapshot {
 [[nodiscard]] std::string snapshot_json(const Snapshot& snap,
                                         bool pretty = false);
 
+/// Prefix selection (the CLI's --metrics-filter): keeps the instruments
+/// whose dotted name starts with one of `prefixes`. An empty prefix list
+/// keeps everything.
+[[nodiscard]] MetricsSnapshot filter_metrics(
+    const MetricsSnapshot& snap, const std::vector<std::string>& prefixes);
+
+/// Event counterpart: keeps events whose type, or any field VALUE (the
+/// emitter identity fields like "device"/"node"/"link" carry the dotted
+/// instrument prefix), starts with one of `prefixes`. An empty prefix
+/// list keeps everything.
+[[nodiscard]] std::vector<Event> filter_events(
+    const std::vector<Event>& events,
+    const std::vector<std::string>& prefixes);
+
 }  // namespace phisched::obs

@@ -24,7 +24,8 @@ Device::Device(Simulator& sim, DeviceConfig config, Rng rng, std::string name)
       name_(std::move(name)),
       rng_(rng),
       cores_(config.hw.cores, config.hw.threads_per_core,
-             rng.child("coremap")) {
+             rng.child("coremap")),
+      pcie_link_(sim, config.pcie, name_ + ".pcie") {
   PHISCHED_REQUIRE(config_.oversub_exponent >= 1.0,
                    "Device: oversubscription exponent must be >= 1");
   PHISCHED_REQUIRE(config_.unmanaged_overlap_penalty >= 0.0 &&
@@ -42,6 +43,7 @@ void Device::attach_process(JobId job, MiB base_memory, KillCallback on_kill) {
   p.on_kill = std::move(on_kill);
   procs_.emplace(job, std::move(p));
   memory_used_ += base_memory;
+  note_container(job);
   check_oom();
 }
 
@@ -53,6 +55,7 @@ void Device::detach_process(JobId job) {
   memory_used_ -= it->second.base_memory + it->second.offload_memory;
   PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
   procs_.erase(it);
+  note_container(job);
 }
 
 void Device::kill_process(JobId job, KillReason reason, bool invoke_callback) {
@@ -87,6 +90,37 @@ void Device::attach_telemetry(obs::Recorder& recorder,
   obs_.speed->set(sim_.now(), speed_);
   obs_.busy_cores->set(sim_.now(), static_cast<double>(cores_.busy_cores()));
   obs_.speed_seconds->set(sim_.now(), speed_);
+  for (const auto& [job, _] : procs_) note_container(job);
+  if (pcie_link_.enabled()) {
+    pcie_link_.attach_telemetry(recorder, prefix + ".pcie");
+  }
+}
+
+void Device::note_container(JobId job) {
+  if (obs_.rec == nullptr) return;
+  const auto it = procs_.find(job);
+  const double resident_mb =
+      it == procs_.end()
+          ? 0.0
+          : static_cast<double>(it->second.base_memory +
+                                it->second.offload_memory);
+  const double threads =
+      it == procs_.end() ? 0.0
+                         : static_cast<double>(it->second.active_threads);
+  obs::Registry& m = obs_.rec->metrics();
+  const std::string base = obs_.prefix + ".container" + std::to_string(job);
+  m.series(base + ".resident_mb").set(sim_.now(), resident_mb);
+  m.series(base + ".threads").set(sim_.now(), threads);
+}
+
+void Device::finalize_telemetry() {
+  settle();
+  if (!oversub_active_) return;
+  oversub_active_ = false;
+  if (obs_.rec != nullptr) {
+    obs_.rec->event(sim_.now(), "oversub_end",
+                    {{"device", obs_.prefix}, {"at_run_end", "1"}});
+  }
 }
 
 OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
@@ -112,9 +146,11 @@ OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
 
   pit->second.running_offloads += 1;
   pit->second.offload_memory += memory;
+  pit->second.active_threads += threads;
   memory_used_ += memory;
   stats_.offloads_started += 1;
   if (obs_.rec != nullptr) obs_.offloads_started->inc();
+  note_container(job);
 
   reconcile();
   check_oom();
@@ -241,10 +277,12 @@ void Device::finish_offload(OffloadId id) {
   PHISCHED_CHECK(pit != procs_.end(), "offload without owning process");
   pit->second.running_offloads -= 1;
   pit->second.offload_memory -= it->second.memory;
+  pit->second.active_threads -= it->second.threads;
 
   offloads_.erase(it);
   stats_.offloads_completed += 1;
   if (obs_.rec != nullptr) obs_.offloads_completed->inc();
+  note_container(job);
   reconcile();
 
   if (on_complete) on_complete();
@@ -294,6 +332,7 @@ void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
     memory_used_ -= it->second.memory;
     pit->second.offload_memory -= it->second.memory;
     pit->second.running_offloads -= 1;
+    pit->second.active_threads -= it->second.threads;
     offloads_.erase(it);
   }
   PHISCHED_CHECK(pit->second.offload_memory == 0 &&
@@ -305,6 +344,8 @@ void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
 
   auto on_kill = std::move(pit->second.on_kill);
   procs_.erase(pit);
+  pcie_link_.cancel_job(job);
+  note_container(job);
 
   switch (reason) {
     case KillReason::kOom:

@@ -30,6 +30,7 @@
 #include "common/types.hpp"
 #include "obs/recorder.hpp"
 #include "phi/affinity.hpp"
+#include "phi/pcie.hpp"
 #include "sim/simulator.hpp"
 
 namespace phisched::phi {
@@ -70,6 +71,12 @@ struct DeviceConfig {
   /// (hw_threads / resident_declared)^idle_spin_exponent when the
   /// resident declared total exceeds the hardware budget.
   double idle_spin_exponent = 0.35;
+
+  /// The card's PCIe link (see phi/pcie.hpp). Contention is off by
+  /// default so calibrated experiments reproduce bit-identically; when
+  /// on, the node middleware routes every offload's input/output
+  /// transfer through the link and concurrent containers contend.
+  PcieLinkConfig pcie{};
 };
 
 struct DeviceStats {
@@ -157,11 +164,25 @@ class Device {
     return resident_thread_load_;
   }
 
+  /// The card's shared PCIe link; disabled unless DeviceConfig::pcie
+  /// opted into contention.
+  [[nodiscard]] PcieLink& pcie_link() { return pcie_link_; }
+  [[nodiscard]] const PcieLink& pcie_link() const { return pcie_link_; }
+
   /// Registers this device's instruments under `prefix` (e.g.
   /// "phi.node0.mic0") and starts recording: busy-core and speed time
-  /// series, kill/oversubscription counters, and per-episode events.
+  /// series, kill/oversubscription counters, per-episode events,
+  /// per-container residency gauges ("<prefix>.container<job>.*"), and —
+  /// when the PCIe link is enabled — its "<prefix>.pcie.*" instruments.
   /// Without this call telemetry costs one null check per site.
   void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
+
+  /// End-of-run bookkeeping: integrates busy time up to now() and, if an
+  /// oversubscription episode is still open because the simulation was
+  /// stopped mid-episode, emits the matching `oversub_end` event so
+  /// episode events always come in begin/end pairs and the episode
+  /// counter agrees with the integrated gauges.
+  void finalize_telemetry();
 
  private:
   struct Offload {
@@ -179,6 +200,7 @@ class Device {
     MiB base_memory = 0;
     MiB offload_memory = 0;  // sum of active working sets
     int running_offloads = 0;
+    ThreadCount active_threads = 0;  // sum of running offloads' threads
     KillCallback on_kill;
   };
 
@@ -192,6 +214,11 @@ class Device {
   void check_oom();
   /// Tears one process down and (optionally) invokes its kill callback.
   void do_kill(JobId job, KillReason reason, bool invoke_callback = true);
+
+  /// Updates the per-container residency gauges for `job`
+  /// ("<prefix>.container<job>.resident_mb" / ".threads"); a job with no
+  /// process records zeros. No-op while telemetry is detached.
+  void note_container(JobId job);
 
   /// Cached instrument pointers; all null until attach_telemetry.
   struct Telemetry {
@@ -213,6 +240,7 @@ class Device {
   std::string name_;
   Rng rng_;
   CoreMap cores_;
+  PcieLink pcie_link_;
   std::map<JobId, Process> procs_;
   std::map<OffloadId, Offload> offloads_;
   MiB memory_used_ = 0;

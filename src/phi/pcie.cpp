@@ -1,0 +1,168 @@
+#include "phi/pcie.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace phisched::phi {
+
+const char* xfer_dir_name(XferDir dir) {
+  switch (dir) {
+    case XferDir::kIn: return "in";
+    case XferDir::kOut: return "out";
+  }
+  return "?";
+}
+
+PcieLink::PcieLink(Simulator& sim, PcieLinkConfig config, std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  PHISCHED_REQUIRE(config_.bandwidth_mib_s > 0.0,
+                   "PcieLink: bandwidth must be positive");
+  PHISCHED_REQUIRE(config_.latency_s >= 0.0,
+                   "PcieLink: latency must be non-negative");
+  PHISCHED_REQUIRE(config_.output_fraction >= 0.0,
+                   "PcieLink: output fraction must be non-negative");
+  busy_time_.reset(sim_.now(), 0.0);
+  last_settle_ = sim_.now();
+}
+
+void PcieLink::attach_telemetry(obs::Recorder& recorder,
+                                const std::string& prefix) {
+  obs_.rec = &recorder;
+  obs_.prefix = prefix;
+  obs::Registry& m = recorder.metrics();
+  obs_.bytes_in = &m.counter(prefix + ".bytes_in");
+  obs_.bytes_out = &m.counter(prefix + ".bytes_out");
+  obs_.busy_frac = &m.series(prefix + ".busy_frac");
+  obs_.queue_depth = &m.series(prefix + ".transfer_queue_depth");
+  obs_.busy_frac->set(sim_.now(), transfers_.empty() ? 0.0 : 1.0);
+  obs_.queue_depth->set(sim_.now(), static_cast<double>(transfers_.size()));
+}
+
+double PcieLink::busy_fraction(SimTime until) const {
+  return busy_time_.mean_until(until);
+}
+
+void PcieLink::note_depth() {
+  if (obs_.rec == nullptr) return;
+  obs_.busy_frac->set(sim_.now(), transfers_.empty() ? 0.0 : 1.0);
+  obs_.queue_depth->set(sim_.now(), static_cast<double>(transfers_.size()));
+}
+
+XferId PcieLink::start_transfer(JobId job, MiB mib, XferDir dir,
+                                Callback on_done) {
+  PHISCHED_REQUIRE(enabled(), "PcieLink: start_transfer on a disabled link");
+  PHISCHED_REQUIRE(mib >= 0, "PcieLink: negative transfer size");
+
+  settle();
+
+  const XferId id = next_id_++;
+  Transfer t;
+  t.id = id;
+  t.job = job;
+  t.dir = dir;
+  t.mib = mib;
+  // Latency as equivalent wire time: an uncontended transfer takes
+  // latency_s + mib/bandwidth, and the latency share dilates under
+  // contention exactly like the payload.
+  t.remaining_mib = static_cast<double>(mib) +
+                    config_.latency_s * config_.bandwidth_mib_s;
+  t.on_done = std::move(on_done);
+  transfers_.emplace(id, std::move(t));
+
+  if (obs_.rec != nullptr) {
+    obs_.rec->event(sim_.now(), "pcie_xfer_begin",
+                    {{"link", obs_.prefix},
+                     {"job", std::to_string(job)},
+                     {"dir", xfer_dir_name(dir)},
+                     {"mib", std::to_string(mib)}});
+  }
+
+  reconcile();
+  return id;
+}
+
+void PcieLink::cancel_job(JobId job) {
+  settle();
+  bool changed = false;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->second.job == job) {
+      it->second.completion.cancel();
+      stats_.cancelled += 1;
+      it = transfers_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) reconcile();
+}
+
+void PcieLink::settle() {
+  const SimTime now = sim_.now();
+  const SimTime elapsed = now - last_settle_;
+  if (elapsed > 0.0 && !transfers_.empty()) {
+    const double rate =
+        config_.bandwidth_mib_s / static_cast<double>(transfers_.size());
+    for (auto& [_, t] : transfers_) {
+      t.remaining_mib = std::max(0.0, t.remaining_mib - elapsed * rate);
+    }
+  }
+  busy_time_.advance_to(now);
+  last_settle_ = now;
+}
+
+void PcieLink::reconcile() {
+  busy_time_.set(sim_.now(), transfers_.empty() ? 0.0 : 1.0);
+  note_depth();
+  if (transfers_.empty()) return;
+  const double rate =
+      config_.bandwidth_mib_s / static_cast<double>(transfers_.size());
+  for (auto& [id, t] : transfers_) {
+    t.completion.cancel();
+    const SimTime eta = t.remaining_mib / rate;
+    const XferId xid = id;
+    t.completion = sim_.schedule_in(eta, [this, xid] { finish(xid); });
+  }
+}
+
+void PcieLink::finish(XferId id) {
+  auto it = transfers_.find(id);
+  PHISCHED_CHECK(it != transfers_.end(), "PcieLink: unknown transfer");
+  settle();
+  PHISCHED_CHECK(it->second.remaining_mib <= 1e-6,
+                 "PcieLink: transfer completed with data remaining");
+
+  const Transfer done = std::move(it->second);
+  transfers_.erase(it);
+
+  switch (done.dir) {
+    case XferDir::kIn:
+      stats_.transfers_in += 1;
+      stats_.mib_in += done.mib;
+      if (obs_.rec != nullptr) {
+        obs_.bytes_in->inc(static_cast<std::uint64_t>(done.mib));
+      }
+      break;
+    case XferDir::kOut:
+      stats_.transfers_out += 1;
+      stats_.mib_out += done.mib;
+      if (obs_.rec != nullptr) {
+        obs_.bytes_out->inc(static_cast<std::uint64_t>(done.mib));
+      }
+      break;
+  }
+  if (obs_.rec != nullptr) {
+    obs_.rec->event(sim_.now(), "pcie_xfer_end",
+                    {{"link", obs_.prefix},
+                     {"job", std::to_string(done.job)},
+                     {"dir", xfer_dir_name(done.dir)},
+                     {"mib", std::to_string(done.mib)}});
+  }
+
+  reconcile();
+  if (done.on_done) done.on_done();
+}
+
+}  // namespace phisched::phi

@@ -1,0 +1,60 @@
+# Round-trip for --metrics-filter: the exported JSON must contain only
+# instruments/events matching the requested prefixes, and the PCIe link
+# namespace must appear when (and only when) --pcie-contention is on.
+execute_process(
+  COMMAND ${CLI} --stack MCC --jobs 15 --nodes 1 --seed 11
+    --metrics-out ${WORKDIR}/filtered_metrics.json
+    --events-out ${WORKDIR}/filtered_events.json
+    --metrics-filter cosmic.node0
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "filtered export run failed: ${rc}")
+endif()
+file(READ ${WORKDIR}/filtered_metrics.json metrics)
+if(NOT metrics MATCHES "cosmic\\.node0\\.")
+  message(FATAL_ERROR "filter dropped the requested cosmic.node0 metrics")
+endif()
+if(metrics MATCHES "\"phi\\." OR metrics MATCHES "\"cluster\\.")
+  message(FATAL_ERROR "filter leaked non-matching metric namespaces")
+endif()
+file(READ ${WORKDIR}/filtered_events.json events)
+if(events MATCHES "\"negotiation" OR events MATCHES "phi\\.node0")
+  message(FATAL_ERROR "event filter leaked non-matching events")
+endif()
+
+# With contention on, the per-device link instruments exist and survive a
+# filter that selects exactly the pcie namespace.
+execute_process(
+  COMMAND ${CLI} --stack MCC --jobs 15 --nodes 1 --seed 11
+    --pcie-contention
+    --metrics-out ${WORKDIR}/pcie_metrics.json
+    --metrics-filter phi.node0.mic0.pcie
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pcie-contention export run failed: ${rc}")
+endif()
+file(READ ${WORKDIR}/pcie_metrics.json pcie)
+if(NOT pcie MATCHES "phi\\.node0\\.mic0\\.pcie\\.busy_frac")
+  message(FATAL_ERROR "pcie busy_frac metric missing under contention")
+endif()
+if(NOT pcie MATCHES "phi\\.node0\\.mic0\\.pcie\\.bytes_in")
+  message(FATAL_ERROR "pcie bytes_in counter missing under contention")
+endif()
+if(pcie MATCHES "\"cosmic\\.")
+  message(FATAL_ERROR "pcie filter leaked cosmic metrics")
+endif()
+
+# Same scenario with contention off: the pcie namespace must be absent
+# (the off-by-default reproduction guarantee — no link instruments).
+execute_process(
+  COMMAND ${CLI} --stack MCC --jobs 15 --nodes 1 --seed 11
+    --metrics-out ${WORKDIR}/nopcie_metrics.json
+    --metrics-filter phi.node0.mic0.pcie
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "contention-off export run failed: ${rc}")
+endif()
+file(READ ${WORKDIR}/nopcie_metrics.json nopcie)
+if(nopcie MATCHES "pcie\\.busy_frac")
+  message(FATAL_ERROR "pcie instruments registered with contention off")
+endif()

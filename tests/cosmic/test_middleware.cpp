@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace phisched::cosmic {
@@ -233,6 +234,31 @@ TEST_F(MiddlewareTest, UnknownJobOffloadThrows) {
 TEST_F(MiddlewareTest, FinishUnknownJobThrows) {
   build();
   EXPECT_THROW(mw_->finish_job(99), std::invalid_argument);
+}
+
+TEST_F(MiddlewareTest, ReattachingTelemetryRebindsEveryDeviceSeries) {
+  build({}, /*devices=*/2);
+  obs::Recorder first;
+  obs::Recorder second;
+  mw_->attach_telemetry(first, "cosmic.node0");
+  admit(1, 1000, 240, /*pin=*/0);
+  admit(2, 1000, 240, /*pin=*/0);
+  // Saturate device 0 so the second offload queues → note_queue_depth.
+  mw_->request_offload(1, 240, 100, 5.0, nullptr);
+  mw_->request_offload(2, 240, 100, 5.0, nullptr);
+
+  // Re-register mid-run (e.g. a fresh recorder for a new measurement
+  // window). Every per-device queue-depth series must be rebound; a
+  // partial rebinding would trip note_queue_depth's internal check on the
+  // next queue movement.
+  mw_->attach_telemetry(second, "cosmic.node0");
+  sim_.run();  // the queued offload drains and records its depth samples
+
+  const auto snap = obs::take_snapshot(second, sim_.now());
+  EXPECT_EQ(snap.metrics.gauges.count("cosmic.node0.mic0.queue_depth.mean"),
+            1u);
+  EXPECT_EQ(snap.metrics.gauges.count("cosmic.node0.mic1.queue_depth.mean"),
+            1u);
 }
 
 }  // namespace

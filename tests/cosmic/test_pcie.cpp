@@ -111,5 +111,98 @@ TEST_F(PcieTest, ContainerCheckStillFiresAfterTransfer) {
   EXPECT_FALSE(ran);
 }
 
+// Fair-share contention model (phi::PcieLink): offload transfers share a
+// per-device link instead of serializing on a per-node bus.
+class PcieContentionTest : public ::testing::Test {
+ protected:
+  void build(double bandwidth_mib_s, double output_fraction) {
+    phi::DeviceConfig dc;
+    dc.affinity = phi::AffinityPolicy::kManagedCompact;
+    dc.pcie.contention = true;
+    dc.pcie.bandwidth_mib_s = bandwidth_mib_s;
+    dc.pcie.output_fraction = output_fraction;
+    device_ = std::make_unique<phi::Device>(sim_, dc, Rng(1));
+    MiddlewareConfig config;
+    config.queued_resume_overhead_s = 0.0;
+    mw_ = std::make_unique<NodeMiddleware>(
+        sim_, std::vector<phi::Device*>{device_.get()}, config);
+  }
+
+  void admit(JobId job, MiB declared,
+             phi::Device::KillCallback on_kill = nullptr) {
+    bool ok = false;
+    mw_->submit_job(job, std::nullopt, declared, 120, 16, std::move(on_kill),
+                    [&] { ok = true; });
+    ASSERT_TRUE(ok);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<phi::Device> device_;
+  std::unique_ptr<NodeMiddleware> mw_;
+};
+
+TEST_F(PcieContentionTest, SoloOffloadPaysFullBandwidthTransfer) {
+  build(1000.0, /*output_fraction=*/0.0);
+  admit(1, 2000);
+  SimTime done = -1.0;
+  mw_->request_offload(1, 60, 1000, 5.0, [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_DOUBLE_EQ(done, 6.0);  // 1 s input + 5 s execution
+}
+
+TEST_F(PcieContentionTest, ConcurrentContainersEachSeeHalfBandwidth) {
+  build(1000.0, /*output_fraction=*/0.0);
+  admit(1, 2100);
+  admit(2, 2100);
+  SimTime done1 = -1.0;
+  SimTime done2 = -1.0;
+  mw_->request_offload(1, 60, 1000, 5.0, [&] { done1 = sim_.now(); });
+  mw_->request_offload(2, 60, 1000, 5.0, [&] { done2 = sim_.now(); });
+  sim_.run();
+  // Both inputs share the link in [0, 2] (half bandwidth each), then the
+  // executions overlap on the card — each offload takes 7 s instead of
+  // the 6 s a container with the link to itself would see.
+  EXPECT_DOUBLE_EQ(done1, 7.0);
+  EXPECT_DOUBLE_EQ(done2, 7.0);
+  EXPECT_DOUBLE_EQ(device_->pcie_link().busy_fraction(7.0), 2.0 / 7.0);
+}
+
+TEST_F(PcieContentionTest, OutputTransferDelaysCompletion) {
+  build(1000.0, /*output_fraction=*/0.5);
+  admit(1, 2000);
+  SimTime done = -1.0;
+  mw_->request_offload(1, 60, 1000, 5.0, [&] { done = sim_.now(); });
+  sim_.run();
+  // 1 s input, 5 s execution, then 500 MiB of results back: 0.5 s.
+  EXPECT_DOUBLE_EQ(done, 6.5);
+  EXPECT_EQ(device_->pcie_link().stats().mib_out, 500);
+}
+
+TEST_F(PcieContentionTest, KilledJobDropsItsLinkTransfer) {
+  build(100.0, /*output_fraction=*/0.0);  // slow link: 10 s per 1000 MiB
+  admit(1, 2000);
+  bool ran = false;
+  mw_->request_offload(1, 60, 1000, 5.0, [&] { ran = true; });
+  sim_.schedule_at(1.0, [&] {
+    device_->kill_process(1, phi::KillReason::kAdmin);
+  });
+  sim_.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(device_->pcie_link().stats().cancelled, 1u);
+  EXPECT_EQ(device_->pcie_link().active_transfers(), 0u);
+}
+
+TEST_F(PcieContentionTest, RejectsBothPcieModelsAtOnce) {
+  phi::DeviceConfig dc;
+  dc.affinity = phi::AffinityPolicy::kManagedCompact;
+  dc.pcie.contention = true;
+  phi::Device device(sim_, dc, Rng(1));
+  MiddlewareConfig config;
+  config.pcie_bandwidth_mib_s = 1000.0;  // the serialized staging model
+  EXPECT_THROW(NodeMiddleware(sim_, std::vector<phi::Device*>{&device},
+                              config),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace phisched::cosmic

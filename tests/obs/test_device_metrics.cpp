@@ -122,6 +122,75 @@ TEST_F(DeviceMetricsTest, OffloadCountersAndSpeedSeries) {
   EXPECT_NEAR(hist.counts[1], sim_.now(), 1e-9);
 }
 
+TEST_F(DeviceMetricsTest, ContainerResidencyGaugesTrackProcessLifecycle) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(7, 512, nullptr);
+  dev.start_offload(7, 60, 256, 1.0, nullptr);
+  sim_.run();
+  dev.detach_process(7);
+
+  // Residency: 768 MiB (base 512 + working set 256) over the 1 s offload,
+  // back to 512 at completion, 0 after detach — the gauge integrates to
+  // 768 MiB·s exactly when the drop-to-zero sample lands. Threads follow
+  // the running offload: 60 for 1 s.
+  const auto snap = obs::take_snapshot(rec_, sim_.now());
+  EXPECT_DOUBLE_EQ(
+      snap.metrics.gauges.at("phi.test.mic0.container7.resident_mb.integral"),
+      768.0);
+  EXPECT_DOUBLE_EQ(
+      snap.metrics.gauges.at("phi.test.mic0.container7.threads.integral"),
+      60.0);
+}
+
+TEST_F(DeviceMetricsTest, KilledContainerGaugeDropsToZero) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(3, 1000, [](JobId, KillReason) {});
+  sim_.schedule_at(2.0, [&] {
+    dev.kill_process(3, KillReason::kAdmin);
+  });
+  sim_.run();
+  // 1000 MiB over [0, 2], zero afterwards: integral 2000 however long the
+  // snapshot horizon — the kill path records the terminal zero sample.
+  const auto snap = obs::take_snapshot(rec_, 5.0);
+  EXPECT_DOUBLE_EQ(
+      snap.metrics.gauges.at("phi.test.mic0.container3.resident_mb.integral"),
+      2000.0);
+}
+
+TEST_F(DeviceMetricsTest, OversubEpisodeOpenAtRunEndIsClosed) {
+  DeviceConfig config;
+  config.affinity = AffinityPolicy::kManagedCompact;
+  Device dev(sim_, config, Rng(1));
+  dev.attach_telemetry(rec_, "phi.test.mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.attach_process(2, 16, nullptr);
+  dev.start_offload(1, 240, 10, 4.0, nullptr);
+  dev.start_offload(2, 240, 10, 4.0, nullptr);  // demand 480: episode opens
+  sim_.run_until(1.0);  // stop the simulation mid-episode
+  dev.finalize_telemetry();
+
+  EXPECT_EQ(dev.stats().oversub_episodes, 1u);
+  EXPECT_EQ(rec_.events().of_type("oversub_begin").size(), 1u);
+  const auto ends = rec_.events().of_type("oversub_end");
+  ASSERT_EQ(ends.size(), 1u);
+  // The synthesized closing event is marked so dashboards can tell a real
+  // drain from a truncated run.
+  ASSERT_FALSE(ends[0].fields.empty());
+  EXPECT_EQ(ends[0].fields.back().first, "at_run_end");
+  // Busy-core time was flushed up to the stop time, not left at zero.
+  EXPECT_GT(dev.core_utilization(1.0), 0.0);
+
+  // Idempotent: a second finalize must not emit a second end event.
+  dev.finalize_telemetry();
+  EXPECT_EQ(rec_.events().of_type("oversub_end").size(), 1u);
+}
+
 TEST_F(DeviceMetricsTest, DetachedDeviceRecordsNothing) {
   Device dev(sim_, DeviceConfig{}, Rng(1));  // no attach_telemetry
   dev.attach_process(1, 4000, nullptr);

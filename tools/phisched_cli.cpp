@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "cluster/report.hpp"
 #include "common/args.hpp"
@@ -43,6 +44,15 @@ options:
                         of every run as JSON to PATH
   --events-out PATH     record full telemetry; write the structured event
                         logs (sim-time ordered) as JSON to PATH
+  --metrics-filter P[,P...]  keep only metrics whose dotted name — and
+                        events whose type or identity field value —
+                        starts with one of the comma-separated prefixes
+                        (applies to --metrics-out and --events-out)
+  --pcie-contention     enable the per-device PCIe link contention model
+                        (phi::PcieLink; off by default so calibrated
+                        outputs reproduce bit-identically)
+  --pcie-bandwidth R    PCIe link bandwidth in MiB/s (default 6144; only
+                        meaningful with --pcie-contention)
   --save-jobs PATH      write the generated job set to PATH and exit
   --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
   --help                this text
@@ -56,6 +66,20 @@ cluster::StackConfig parse_stack(const std::string& name) {
   if (name == "bestfit") return cluster::StackConfig::kMCCBestFit;
   if (name == "oracle") return cluster::StackConfig::kMCCOracle;
   throw std::invalid_argument("unknown --stack '" + name + "'");
+}
+
+/// "a,b,c" → {"a","b","c"}; empty tokens (and an empty input) drop out.
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 workload::JobSet make_jobs(const std::string& name, std::size_t count,
@@ -94,7 +118,7 @@ int main(int argc, char** argv) {
         {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
          "arrival-rate", "negotiation-interval", "overcommit", "series",
          "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
-         "help"});
+         "metrics-filter", "pcie-contention", "pcie-bandwidth", "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());
@@ -141,9 +165,15 @@ int main(int argc, char** argv) {
     config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
     if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
 
+    config.pcie.contention = args.get_bool_or("pcie-contention", false);
+    config.pcie.bandwidth_mib_s =
+        args.get_real_or("pcie-bandwidth", config.pcie.bandwidth_mib_s);
+
     const auto metrics_path = args.get("metrics-out");
     const auto events_path = args.get("events-out");
     config.telemetry = metrics_path.has_value() || events_path.has_value();
+    const std::vector<std::string> metric_filters =
+        split_csv(args.get_or("metrics-filter", ""));
 
     std::vector<cluster::NamedResult> results;
     if (args.get_bool_or("compare", false)) {
@@ -214,8 +244,9 @@ int main(int argc, char** argv) {
     };
     if (metrics_path.has_value()) {
       const bool ok =
-          write_runs(*metrics_path, "metrics", [](const auto& named) {
-            return obs::metrics_json(named.result.telemetry->metrics);
+          write_runs(*metrics_path, "metrics", [&](const auto& named) {
+            return obs::metrics_json(obs::filter_metrics(
+                named.result.telemetry->metrics, metric_filters));
           });
       if (!ok) {
         std::fprintf(stderr, "failed to write %s\n", metrics_path->c_str());
@@ -224,8 +255,9 @@ int main(int argc, char** argv) {
       std::printf("\nwrote %s\n", metrics_path->c_str());
     }
     if (events_path.has_value()) {
-      const bool ok = write_runs(*events_path, "events", [](const auto& named) {
-        return obs::events_json(named.result.telemetry->events);
+      const bool ok = write_runs(*events_path, "events", [&](const auto& named) {
+        return obs::events_json(obs::filter_events(
+            named.result.telemetry->events, metric_filters));
       });
       if (!ok) {
         std::fprintf(stderr, "failed to write %s\n", events_path->c_str());

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: configure, build, and run the `sanitize`-labelled test
+# suites under both the asan (ASan+UBSan) and tsan CMake presets.
+#
+# Usage:
+#   tools/run_sanitizers.sh [preset ...]   # default: asan tsan
+#
+# Exits non-zero on the first failing preset. Intended both for direct
+# use and as the body of the `sanitizer_sweep` CTest entry registered in
+# tests/CMakeLists.txt (run it with `ctest -C sanitize-sweep`).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+presets=("$@")
+if [ "${#presets[@]}" -eq 0 ]; then
+  presets=(asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> [${preset}] configure"
+  cmake --preset "${preset}" >/dev/null
+  echo "==> [${preset}] build"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> [${preset}] ctest -L sanitize"
+  ctest --preset "${preset}" -j "${jobs}" --output-on-failure
+done
+
+echo "sanitizer sweep passed: ${presets[*]}"
