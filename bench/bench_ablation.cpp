@@ -23,7 +23,7 @@ const workload::JobSet& jobs() {
 
 void report(AsciiTable& table, const std::string& label,
             const cluster::ExperimentConfig& config, double baseline) {
-  const auto r = cluster::run_experiment(config, jobs());
+  const auto r = run_stack(config, jobs());
   table.add_row({label, AsciiTable::cell(r.makespan, 0),
                  pct(1.0 - r.makespan / baseline),
                  pct(r.avg_core_utilization),
@@ -37,7 +37,7 @@ int main() {
                "design-choice sensitivity (1000 real jobs, 8 nodes)");
 
   const double mc_baseline =
-      cluster::run_experiment(paper_cluster(cluster::StackConfig::kMC), jobs())
+      run_stack(paper_cluster(cluster::StackConfig::kMC), jobs())
           .makespan;
   std::printf("MC baseline makespan: %.0f s\n\n", mc_baseline);
 
@@ -150,8 +150,8 @@ int main() {
       table.add_row(
           {interval == 0.0 ? std::string("always fresh")
                            : "UPDATE_INTERVAL " + AsciiTable::cell(interval, 0) + " s",
-           AsciiTable::cell(cluster::run_experiment(mcc, jobs()).makespan, 0),
-           AsciiTable::cell(cluster::run_experiment(mcck, jobs()).makespan, 0)});
+           AsciiTable::cell(run_stack(mcc, jobs()).makespan, 0),
+           AsciiTable::cell(run_stack(mcck, jobs()).makespan, 0)});
     }
     std::printf(
         "7) machine-ad staleness (Condor UPDATE_INTERVAL; default deployment\n"

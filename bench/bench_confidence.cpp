@@ -23,7 +23,7 @@ int main() {
         1000, Rng(seed).child("jobs"));
 
     auto run = [&](cluster::StackConfig stack) {
-      return cluster::run_experiment(paper_cluster(stack, 8, seed), jobs);
+      return run_stack(paper_cluster(stack, 8, seed), jobs);
     };
     const auto mc = run(cluster::StackConfig::kMC);
     const auto mcc = run(cluster::StackConfig::kMCC);

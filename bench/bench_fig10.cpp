@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
           for (const auto stack :
                {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
                 cluster::StackConfig::kMCCK}) {
-            const auto r = cluster::run_experiment(
+            const auto r = run_stack(
                 paper_cluster(stack, nodes, seed), jobs);
             m[std::string(cluster::stack_config_name(stack)) + ".nodes" +
               std::to_string(nodes) + ".makespan"] = r.makespan;
@@ -42,15 +42,15 @@ int main(int argc, char** argv) {
     const auto jobs = workload::make_synthetic_jobset(
         workload::Distribution::kNormal, job_count, Rng(7).child("syn"));
     const double mc =
-        cluster::run_experiment(
+        run_stack(
             paper_cluster(cluster::StackConfig::kMC, nodes), jobs)
             .makespan;
     const double mcc =
-        cluster::run_experiment(
+        run_stack(
             paper_cluster(cluster::StackConfig::kMCC, nodes), jobs)
             .makespan;
     const double mcck =
-        cluster::run_experiment(
+        run_stack(
             paper_cluster(cluster::StackConfig::kMCCK, nodes), jobs)
             .makespan;
     table.add_row({std::to_string(nodes), std::to_string(job_count),

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
           for (const auto stack :
                {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
                 cluster::StackConfig::kMCCK}) {
-            const auto r = cluster::run_experiment(
+            const auto r = run_stack(
                 paper_cluster(stack, 8, seed), jobs);
             m[d + "." + cluster::stack_config_name(stack) + ".makespan"] =
                 r.makespan;
@@ -40,13 +40,13 @@ int main(int argc, char** argv) {
     const auto jobs =
         workload::make_synthetic_jobset(dist, 400, Rng(7).child("syn"));
     const double mc =
-        cluster::run_experiment(paper_cluster(cluster::StackConfig::kMC), jobs)
+        run_stack(paper_cluster(cluster::StackConfig::kMC), jobs)
             .makespan;
     const double mcc =
-        cluster::run_experiment(paper_cluster(cluster::StackConfig::kMCC), jobs)
+        run_stack(paper_cluster(cluster::StackConfig::kMCC), jobs)
             .makespan;
     const double mcck =
-        cluster::run_experiment(paper_cluster(cluster::StackConfig::kMCCK), jobs)
+        run_stack(paper_cluster(cluster::StackConfig::kMCCK), jobs)
             .makespan;
     table.add_row({workload::distribution_name(dist), AsciiTable::cell(mc, 0),
                    AsciiTable::cell(mcc, 0), AsciiTable::cell(mcck, 0),

@@ -18,7 +18,7 @@ int main() {
 
   {
     const auto jobs = workload::make_real_jobset(1000, Rng(42).child("jobs"));
-    const auto r = cluster::run_experiment(
+    const auto r = run_stack(
         paper_cluster(cluster::StackConfig::kMC), jobs);
     table.add_row({"Table I (real workloads)", "1000",
                    pct(r.avg_core_utilization), AsciiTable::cell(r.makespan, 0)});
@@ -26,7 +26,7 @@ int main() {
   for (const auto dist : workload::all_distributions()) {
     const auto jobs =
         workload::make_synthetic_jobset(dist, 400, Rng(7).child("syn"));
-    const auto r = cluster::run_experiment(
+    const auto r = run_stack(
         paper_cluster(cluster::StackConfig::kMC), jobs);
     table.add_row({std::string("Synthetic: ") + workload::distribution_name(dist),
                    "400", pct(r.avg_core_utilization),

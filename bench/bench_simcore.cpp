@@ -9,6 +9,7 @@
 #include "classad/eval.hpp"
 #include "classad/parser.hpp"
 #include "cluster/experiment.hpp"
+#include "cluster/harness.hpp"
 #include "sim/simulator.hpp"
 #include "workload/jobset.hpp"
 
@@ -77,7 +78,9 @@ void BM_ExperimentPerJob(benchmark::State& state) {
   config.node_count = 4;
   config.stack = cluster::StackConfig::kMCCK;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cluster::run_experiment(config, jobs));
+    cluster::Harness harness(config);
+    harness.submit(jobs);
+    benchmark::DoNotOptimize(harness.run_to_completion());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));

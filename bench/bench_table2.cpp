@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
              {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
               cluster::StackConfig::kMCCK}) {
           const auto r =
-              cluster::run_experiment(paper_cluster(stack, 8, seed), jobs);
+              run_stack(paper_cluster(stack, 8, seed), jobs);
           const std::string s = cluster::stack_config_name(stack);
           m[s + ".makespan"] = r.makespan;
           if (stack == cluster::StackConfig::kMC) {
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const auto stack : {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
                            cluster::StackConfig::kMCCK}) {
-    Row row{stack, cluster::run_experiment(paper_cluster(stack), jobs), 0};
+    Row row{stack, run_stack(paper_cluster(stack), jobs), 0};
     rows.push_back(std::move(row));
   }
 

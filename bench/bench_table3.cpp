@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
               dist, 400, Rng(seed).child("syn"));
           const std::string d = workload::distribution_name(dist);
           const double target =
-              cluster::run_experiment(
+              run_stack(
                   paper_cluster(cluster::StackConfig::kMC, 8, seed), jobs)
                   .makespan;
           m[d + ".MC.makespan"] = target;
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     const auto jobs =
         workload::make_synthetic_jobset(dist, 400, Rng(7).child("syn"));
     const double target =
-        cluster::run_experiment(paper_cluster(cluster::StackConfig::kMC), jobs)
+        run_stack(paper_cluster(cluster::StackConfig::kMC), jobs)
             .makespan;
     mc_row.push_back("8");
     for (auto* row : {&mcc_row, &mcck_row}) {

@@ -30,9 +30,9 @@ int main() {
     config.node_hw.slots = 16 * shape.devices;
 
     config.stack = cluster::StackConfig::kMCC;
-    const double mcc = cluster::run_experiment(config, jobs).makespan;
+    const double mcc = run_stack(config, jobs).makespan;
     config.stack = cluster::StackConfig::kMCCK;
-    const double mcck = cluster::run_experiment(config, jobs).makespan;
+    const double mcck = run_stack(config, jobs).makespan;
 
     table.add_row({std::to_string(shape.nodes) + " nodes x " +
                        std::to_string(shape.devices) + " cards",

@@ -6,10 +6,21 @@
 
 #include "cluster/experiment.hpp"
 #include "cluster/footprint.hpp"
+#include "cluster/harness.hpp"
 #include "common/table.hpp"
 #include "workload/jobset.hpp"
 
 namespace phisched::bench {
+
+/// One closed-workload run on the step-driven harness: build the stack,
+/// enqueue the whole set, drain. All the fig/table harnesses drive the
+/// cluster through this single entry point.
+inline cluster::ExperimentResult run_stack(
+    const cluster::ExperimentConfig& config, const workload::JobSet& jobs) {
+  cluster::Harness harness(config);
+  harness.submit(jobs);
+  return harness.run_to_completion();
+}
 
 /// The paper's testbed: 8 nodes, 1 Xeon Phi (60 cores / 240 threads /
 /// 8 GiB) per node.

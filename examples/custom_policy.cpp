@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <map>
 
-#include "cluster/experiment.hpp"
+#include "cluster/harness.hpp"
 #include "cluster/report.hpp"
 #include "workload/jobset.hpp"
 
@@ -61,18 +61,23 @@ int main(int argc, char** argv) {
   cluster::ExperimentConfig config;
   config.node_count = 8;
 
+  const auto race = [&jobs](const cluster::ExperimentConfig& cfg) {
+    cluster::Harness harness(cfg);
+    harness.submit(jobs);
+    return harness.run_to_completion();
+  };
+
   std::vector<cluster::NamedResult> rows;
 
   config.stack = cluster::StackConfig::kMC;
-  rows.push_back({"MC (baseline)", cluster::run_experiment(config, jobs)});
+  rows.push_back({"MC (baseline)", race(config)});
 
   config.stack = cluster::StackConfig::kMCCK;
   config.policy_factory = [] { return std::make_unique<BalancedCountPolicy>(); };
-  rows.push_back({"custom: balanced-count",
-                  cluster::run_experiment(config, jobs)});
+  rows.push_back({"custom: balanced-count", race(config)});
 
   config.policy_factory = nullptr;  // back to the paper's knapsack
-  rows.push_back({"knapsack (paper)", cluster::run_experiment(config, jobs)});
+  rows.push_back({"knapsack (paper)", race(config)});
 
   std::printf("custom cluster policy vs the paper's knapsack "
               "(%zu Table I jobs, 8 nodes)\n\n", num_jobs);

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "cluster/footprint.hpp"
+#include "cluster/harness.hpp"
 #include "common/table.hpp"
 #include "workload/jobset.hpp"
 
@@ -30,7 +31,11 @@ int main(int argc, char** argv) {
   base.node_count = max_nodes;
   base.seed = seed;
   base.stack = cluster::StackConfig::kMC;
-  const SimTime target = cluster::run_experiment(base, jobs).makespan;
+  const SimTime target = [&] {
+    cluster::Harness harness(base);
+    harness.submit(jobs);
+    return harness.run_to_completion().makespan;
+  }();
 
   std::printf("footprint planner: %zu jobs, SLA = %.0f s "
               "(MC on %zu nodes)\n\n", num_jobs, target, max_nodes);
@@ -44,7 +49,9 @@ int main(int argc, char** argv) {
     const auto f = cluster::find_footprint(config, jobs, target, max_nodes);
     if (f.achieved()) {
       config.node_count = f.nodes;
-      const auto at_footprint = cluster::run_experiment(config, jobs);
+      cluster::Harness at(config);
+      at.submit(jobs);
+      const auto at_footprint = at.run_to_completion();
       table.add_row({cluster::stack_config_name(stack),
                      std::to_string(f.nodes),
                      AsciiTable::cell(f.makespan_at_footprint, 0),

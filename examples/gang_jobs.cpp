@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cluster/harness.hpp"
 #include "cluster/report.hpp"
 #include "workload/jobset.hpp"
 
@@ -78,8 +79,10 @@ int main(int argc, char** argv) {
     config.node_hw.phi_devices = 2;
     config.node_hw.slots = 32;
     config.stack = stack;
-    rows.push_back({cluster::stack_config_name(stack),
-                    cluster::run_experiment(config, jobs)});
+    cluster::Harness harness(config);
+    harness.submit(jobs);
+    rows.push_back(
+        {cluster::stack_config_name(stack), harness.run_to_completion()});
   }
   std::printf("%s\n", cluster::comparison_table(rows).to_string().c_str());
   std::printf(

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "cluster/experiment.hpp"
+#include "cluster/harness.hpp"
 #include "common/table.hpp"
 #include "workload/jobset.hpp"
 
@@ -39,7 +39,10 @@ int main(int argc, char** argv) {
     config.node_count = num_nodes;
     config.stack = stack;
     config.seed = seed;
-    const cluster::ExperimentResult r = cluster::run_experiment(config, jobs);
+    // Build the stack, enqueue the workload, drain the event loop.
+    cluster::Harness harness(config);
+    harness.submit(jobs);
+    const cluster::ExperimentResult r = harness.run_to_completion();
 
     if (stack == cluster::StackConfig::kMC) baseline = r.makespan;
     const double reduction = 1.0 - r.makespan / baseline;

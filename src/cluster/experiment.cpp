@@ -1,22 +1,6 @@
 #include "cluster/experiment.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <set>
-
-#include "common/quantize.hpp"
-
-#include "cluster/jobrun.hpp"
-#include "cluster/node.hpp"
-#include "common/error.hpp"
-#include "common/rng.hpp"
-#include "condor/ads.hpp"
-#include "condor/collector.hpp"
-#include "condor/negotiator.hpp"
-#include "condor/schedd.hpp"
-#include "core/addon.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
+#include "cluster/harness.hpp"
 
 namespace phisched::cluster {
 
@@ -32,375 +16,13 @@ const char* stack_config_name(StackConfig c) {
   return "?";
 }
 
-namespace {
-
-[[nodiscard]] bool uses_cosmic(StackConfig c) { return c != StackConfig::kMC; }
-
-[[nodiscard]] bool uses_addon(StackConfig c) {
-  return c == StackConfig::kMCCK || c == StackConfig::kMCCFirstFit ||
-         c == StackConfig::kMCCBestFit || c == StackConfig::kMCCOracle;
-}
-
-/// Owns the whole simulated stack for one run.
-class Experiment {
- public:
-  Experiment(const ExperimentConfig& config, const workload::JobSet& jobs)
-      : config_(config),
-        rng_(config.seed),
-        schedd_(sim_),
-        collector_(config.ad_update_interval > 0.0
-                       ? condor::Collector(sim_, config.ad_update_interval)
-                       : condor::Collector()) {
-    PHISCHED_REQUIRE(config_.node_count > 0, "experiment: need nodes");
-    PHISCHED_REQUIRE(config_.dispatch_latency >= 0.0 &&
-                         config_.dispatch_latency < config_.negotiation_interval,
-                     "experiment: dispatch latency must be below the "
-                     "negotiation interval");
-    if (config_.telemetry) recorder_ = std::make_unique<obs::Recorder>();
-    build_nodes();
-    build_condor();
-    submit_jobs(jobs);
-  }
-
-  ExperimentResult run() {
-    // Trigger an immediate first negotiation so the cluster does not sit
-    // idle for one full interval (Condor negotiates on submission).
-    sim_.schedule_in(0.0, [this] { negotiator_->run_cycle(); });
-    negotiator_->start();
-    if (config_.sample_interval > 0.0) {
-      sampler_ = std::make_unique<PeriodicTimer>(
-          sim_, config_.sample_interval, [this] { take_sample(); });
-    }
-    sim_.run();
-
-    PHISCHED_CHECK(
-        schedd_.completed_count() + schedd_.failed_count() == total_jobs_,
-        "experiment deadlock: " + std::to_string(schedd_.pending_count()) +
-            " jobs never scheduled");
-    return collect();
-  }
-
- private:
-  void build_nodes() {
-    NodeConfig nc;
-    nc.hw = config_.node_hw;
-    nc.device.oversub_exponent = config_.oversub_exponent;
-    nc.device.unmanaged_overlap_penalty = config_.unmanaged_overlap_penalty;
-    nc.device.idle_spin_exponent = config_.idle_spin_exponent;
-    nc.device.affinity = uses_cosmic(config_.stack)
-                             ? phi::AffinityPolicy::kManagedCompact
-                             : phi::AffinityPolicy::kUnmanagedScatter;
-    nc.middleware.enforce_containers =
-        uses_cosmic(config_.stack) && !config_.disable_containers_for_testing;
-    nc.middleware.serialize_offloads = uses_cosmic(config_.stack);
-    nc.middleware.drain = config_.drain;
-    nc.middleware.queued_resume_overhead_s = config_.queued_resume_overhead;
-    nc.middleware.pcie_bandwidth_mib_s = config_.pcie_bandwidth_mib_s;
-    nc.device.pcie = config_.pcie;
-
-    for (NodeId n = 0; n < static_cast<NodeId>(config_.node_count); ++n) {
-      nodes_.push_back(std::make_unique<Node>(
-          sim_, n, nc, rng_.child("node" + std::to_string(n))));
-      collector_.advertise(n, [this, n] {
-        return nodes_[static_cast<std::size_t>(n)]->machine_ad();
-      });
-      if (recorder_ != nullptr) {
-        Node& node = *nodes_.back();
-        const std::string tag = "node" + std::to_string(n);
-        node.middleware().attach_telemetry(*recorder_, "cosmic." + tag);
-        for (DeviceId d = 0; d < node.device_count(); ++d) {
-          node.device(d).attach_telemetry(
-              *recorder_, "phi." + tag + ".mic" + std::to_string(d));
-        }
-      }
-    }
-  }
-
-  void build_condor() {
-    condor::NegotiatorConfig ncfg;
-    ncfg.cycle_interval = config_.negotiation_interval;
-    ncfg.order = condor::MachineOrder::kRandom;
-    negotiator_ = std::make_unique<condor::Negotiator>(
-        sim_, schedd_, collector_,
-        [this](JobId job, NodeId node) { return dispatch(job, node); }, ncfg,
-        rng_.child("negotiator"));
-    if (recorder_ != nullptr) {
-      negotiator_->attach_telemetry(*recorder_, "condor.negotiator");
-      schedd_.attach_telemetry(*recorder_, "condor.schedd");
-    }
-
-    if (uses_addon(config_.stack)) {
-      std::unique_ptr<core::AssignmentPolicy> policy;
-      core::AddonConfig addon_config = config_.addon;
-      switch (config_.stack) {
-        case StackConfig::kMCCFirstFit:
-          policy = core::make_first_fit_policy();
-          break;
-        case StackConfig::kMCCBestFit:
-          policy = core::make_best_fit_policy();
-          break;
-        case StackConfig::kMCCOracle:
-          policy = core::make_oracle_lpt_policy();
-          addon_config.duration_oracle = [this](JobId id) {
-            return specs_.at(id).profile.total_duration();
-          };
-          break;
-        default:
-          policy = config_.policy_factory != nullptr
-                       ? config_.policy_factory()
-                       : core::make_knapsack_policy(config_.knapsack);
-          break;
-      }
-      addon_ = std::make_unique<core::SharingAwareScheduler>(
-          schedd_, collector_, std::move(policy), addon_config);
-      negotiator_->set_pre_cycle_hook([this] { addon_->pre_cycle(); });
-    }
-
-    schedd_.set_on_terminal([this](const condor::JobRecord&) {
-      if (schedd_.completed_count() + schedd_.failed_count() == total_jobs_) {
-        negotiator_->stop();
-        if (sampler_ != nullptr) sampler_->stop();
-      }
-    });
-  }
-
-  void take_sample() {
-    CoreCount busy = 0;
-    CoreCount total = 0;
-    for (const auto& node : nodes_) {
-      for (DeviceId d = 0; d < node->device_count(); ++d) {
-        busy += node->device(d).busy_cores();
-        total += node->device(d).config().hw.cores;
-      }
-    }
-    samples_.emplace_back(
-        sim_.now(),
-        total > 0 ? static_cast<double>(busy) / static_cast<double>(total)
-                  : 0.0);
-  }
-
-  /// Requirements each stack submits with. Add-on configurations submit
-  /// jobs that match nothing until the add-on pins them: the cluster
-  /// scheduler owns every placement decision, so vanilla matchmaking must
-  /// not race it (the paper's add-on wins the same race by batching
-  /// qedits before each cycle).
-  [[nodiscard]] std::string requirements_for_stack() const {
-    if (config_.stack == StackConfig::kMC) {
-      return condor::exclusive_requirements();
-    }
-    return uses_addon(config_.stack) ? "false"
-                                     : condor::arbitrary_requirements();
-  }
-
-  void submit_jobs(const workload::JobSet& jobs) {
-    const MiB usable = config_.node_hw.phi.usable_memory_mib();
-    const ThreadCount hw_threads = config_.node_hw.phi.hw_threads();
-    const std::string reqs = requirements_for_stack();
-    total_jobs_ = jobs.size();
-    for (const workload::JobSpec& job : jobs) {
-      PHISCHED_REQUIRE(job.mem_req_mib <= usable,
-                       "job does not fit one coprocessor's memory");
-      PHISCHED_REQUIRE(job.threads_req <= hw_threads,
-                       "job does not fit one coprocessor's threads");
-      PHISCHED_REQUIRE(job.submit_time >= 0.0, "negative submit time");
-      PHISCHED_REQUIRE(job.devices_req >= 1 &&
-                           job.devices_req <= config_.node_hw.phi_devices,
-                       "job's gang does not fit one node's devices");
-      specs_.emplace(job.id, job);
-      if (job.submit_time == 0.0) {
-        schedd_.submit(job.id, condor::make_job_ad(job, reqs));
-      } else {
-        // Dynamic arrival (the paper's "dynamic scenario with continuously
-        // arriving jobs"): each negotiation cycle schedules a snapshot of
-        // whatever is pending at that moment.
-        const JobId id = job.id;
-        sim_.schedule_at(job.submit_time, [this, id, reqs] {
-          schedd_.submit(id, condor::make_job_ad(specs_.at(id), reqs));
-        });
-      }
-    }
-  }
-
-  bool dispatch(JobId job_id, NodeId node_id) {
-    Node& node = *nodes_[static_cast<std::size_t>(node_id)];
-    if (node.free_slots() <= 0) return false;
-
-    const workload::JobSpec& spec = specs_.at(job_id);
-
-    // Device pinning: MC claims whole free devices (the job's entire
-    // gang); add-on jobs carry the knapsack's choice in their ad; plain
-    // MCC — and gang jobs under any sharing stack — let COSMIC decide.
-    std::vector<DeviceId> devices;
-    if (config_.stack == StackConfig::kMC) {
-      // Claim devices_req whole free devices, skipping ones already
-      // claimed by an in-flight dispatch this cycle (their reservation
-      // lands only after the shadow/starter latency).
-      for (DeviceId d = 0;
-           d < node.device_count() &&
-           devices.size() < static_cast<std::size_t>(spec.devices_req);
-           ++d) {
-        if (node.middleware().jobs_on_device(d) == 0 &&
-            exclusive_claims_.find(DeviceAddress{node_id, d}) ==
-                exclusive_claims_.end()) {
-          devices.push_back(d);
-        }
-      }
-      if (devices.size() < static_cast<std::size_t>(spec.devices_req)) {
-        return false;  // stale ad: not enough free devices
-      }
-      for (DeviceId d : devices) {
-        exclusive_claims_.insert(DeviceAddress{node_id, d});
-        exclusive_claims_of_[job_id].push_back(DeviceAddress{node_id, d});
-      }
-    } else if (spec.devices_req == 1) {
-      const auto pinned =
-          schedd_.record(job_id).ad.eval_integer(condor::kAttrPinnedDevice);
-      if (pinned.has_value()) devices.push_back(static_cast<DeviceId>(*pinned));
-    }
-
-    auto run = std::make_unique<JobRun>(
-        sim_, spec, node.middleware(), devices,
-        [this, node_id](const workload::JobSpec& s, bool success) {
-          on_job_done(s, node_id, success);
-        });
-    node.claim_slot();
-    JobRun* raw = run.get();
-    // Assignment (not emplace): a retried job replaces its finished
-    // previous run, which holds no pending events by now.
-    runs_[job_id] = std::move(run);
-    // Shadow/starter latency: transfer the job and spawn it at the node.
-    sim_.schedule_in(config_.dispatch_latency, [this, job_id, raw] {
-      schedd_.mark_running(job_id);
-      raw->arrive();
-    });
-    return true;
-  }
-
-  void on_job_done(const workload::JobSpec& spec, NodeId node_id,
-                   bool success) {
-    nodes_[static_cast<std::size_t>(node_id)]->release_slot();
-    if (const auto it = exclusive_claims_of_.find(spec.id);
-        it != exclusive_claims_of_.end()) {
-      for (const DeviceAddress& addr : it->second) {
-        exclusive_claims_.erase(addr);
-      }
-      exclusive_claims_of_.erase(it);
-    }
-    if (success) {
-      schedd_.mark_completed(spec.id);
-      return;
-    }
-    if (schedd_.record(spec.id).retries < config_.max_retries) {
-      // Requeue with a boosted declaration: the kill told us the
-      // estimate was too low.
-      workload::JobSpec& stored = specs_.at(spec.id);
-      const MiB usable = config_.node_hw.phi.usable_memory_mib();
-      const auto boosted = static_cast<MiB>(
-          std::llround(static_cast<double>(stored.mem_req_mib) *
-                       config_.retry_memory_boost));
-      stored.mem_req_mib = std::min(usable, quantize_up(boosted));
-      schedd_.requeue(spec.id,
-                      condor::make_job_ad(stored, requirements_for_stack()));
-      return;
-    }
-    schedd_.mark_failed(spec.id);
-  }
-
-  ExperimentResult collect() {
-    ExperimentResult r;
-    r.makespan = schedd_.last_finish_time();
-    r.jobs_completed = schedd_.completed_count();
-    r.jobs_failed = schedd_.failed_count();
-    r.negotiation_cycles = negotiator_->stats().cycles;
-    r.matches = negotiator_->stats().matches;
-    r.events_processed = sim_.events_processed();
-    if (addon_ != nullptr) r.addon_pins = addon_->stats().pins;
-
-    double util_sum = 0.0;
-    for (const auto& node : nodes_) {
-      for (DeviceId d = 0; d < node->device_count(); ++d) {
-        // Close out per-device telemetry (flush busy time, end any
-        // oversubscription episode the run stopped inside) before the
-        // snapshot below reads it.
-        node->device(d).finalize_telemetry();
-        const phi::Device& dev = node->device(d);
-        const double u = r.makespan > 0.0 ? dev.core_utilization(r.makespan) : 0.0;
-        r.per_device_utilization.push_back(u);
-        util_sum += u;
-        r.device_energy_mj += dev.energy_joules(r.makespan) / 1e6;
-        r.offloads_started += dev.stats().offloads_started;
-        r.oom_kills += dev.stats().oom_kills;
-        r.container_kills += dev.stats().container_kills;
-      }
-      r.offloads_queued += node->middleware().stats().offloads_queued;
-    }
-    if (!r.per_device_utilization.empty()) {
-      r.avg_core_utilization =
-          util_sum / static_cast<double>(r.per_device_utilization.size());
-    }
-
-    for (const auto& [id, _] : specs_) {
-      const condor::JobRecord& rec = schedd_.record(id);
-      if (rec.finish_time >= 0.0) {
-        r.turnaround.add(rec.finish_time - rec.submit_time);
-      }
-      if (rec.start_time >= 0.0) {
-        r.wait_time.add(rec.start_time - rec.submit_time);
-      }
-      r.job_retries += static_cast<std::size_t>(rec.retries);
-    }
-    r.mean_turnaround = r.turnaround.mean();
-    r.utilization_series = samples_;
-
-    if (recorder_ != nullptr) {
-      auto& m = recorder_->metrics();
-      m.gauge("cluster.makespan_s").set(r.makespan);
-      m.gauge("cluster.avg_core_utilization").set(r.avg_core_utilization);
-      m.gauge("cluster.device_energy_mj").set(r.device_energy_mj);
-      m.gauge("cluster.mean_turnaround_s").set(r.mean_turnaround);
-      m.counter("cluster.jobs_completed").inc(r.jobs_completed);
-      m.counter("cluster.jobs_failed").inc(r.jobs_failed);
-      m.counter("cluster.job_retries").inc(r.job_retries);
-      // Per-job slowdown (turnaround over solo full-speed duration) — the
-      // paper's fairness lens on sharing.
-      auto& slowdown = m.histogram("cluster.job_slowdown", 0.0, 20.0, 40);
-      for (const auto& [id, spec] : specs_) {
-        const condor::JobRecord& rec = schedd_.record(id);
-        const double solo = spec.profile.total_duration();
-        if (rec.finish_time >= 0.0 && solo > 0.0) {
-          slowdown.add((rec.finish_time - rec.submit_time) / solo);
-        }
-      }
-      r.telemetry = std::make_shared<const obs::Snapshot>(
-          obs::take_snapshot(*recorder_, r.makespan));
-    }
-    return r;
-  }
-
-  ExperimentConfig config_;
-  Rng rng_;
-  Simulator sim_;
-  condor::Schedd schedd_;
-  condor::Collector collector_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::unique_ptr<condor::Negotiator> negotiator_;
-  std::unique_ptr<core::SharingAwareScheduler> addon_;
-  std::map<JobId, workload::JobSpec> specs_;
-  std::map<JobId, std::unique_ptr<JobRun>> runs_;
-  std::set<DeviceAddress> exclusive_claims_;
-  std::map<JobId, std::vector<DeviceAddress>> exclusive_claims_of_;
-  std::size_t total_jobs_ = 0;
-  std::unique_ptr<PeriodicTimer> sampler_;
-  std::vector<std::pair<SimTime, double>> samples_;
-  std::unique_ptr<obs::Recorder> recorder_;
-};
-
-}  // namespace
-
+// One-shot convenience over the step-driven cluster::Harness, kept for
+// the closed-workload matrix runs (Section V): build, enqueue, drain.
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const workload::JobSet& jobs) {
-  Experiment experiment(config, jobs);
-  return experiment.run();
+  Harness harness(config);
+  harness.submit(jobs);
+  return harness.run_to_completion();
 }
 
 }  // namespace phisched::cluster

@@ -1,9 +1,23 @@
 #include "cluster/footprint.hpp"
 
+#include "cluster/harness.hpp"
 #include "common/error.hpp"
 #include "common/threadpool.hpp"
 
 namespace phisched::cluster {
+
+namespace {
+
+/// One closed-workload run on a fresh harness (sweeps are embarrassingly
+/// parallel precisely because each run owns its whole stack).
+[[nodiscard]] ExperimentResult run_once(const ExperimentConfig& config,
+                                        const workload::JobSet& jobs) {
+  Harness harness(config);
+  harness.submit(jobs);
+  return harness.run_to_completion();
+}
+
+}  // namespace
 
 FootprintResult find_footprint(ExperimentConfig config,
                                const workload::JobSet& jobs,
@@ -12,7 +26,7 @@ FootprintResult find_footprint(ExperimentConfig config,
   FootprintResult result;
   for (std::size_t n = 1; n <= max_nodes; ++n) {
     config.node_count = n;
-    const ExperimentResult r = run_experiment(config, jobs);
+    const ExperimentResult r = run_once(config, jobs);
     result.sweep.emplace_back(n, r.makespan);
     if (r.makespan <= target_makespan) {
       result.nodes = n;
@@ -30,7 +44,7 @@ std::vector<std::pair<std::size_t, SimTime>> makespan_by_size(
   out.reserve(sizes.size());
   for (std::size_t n : sizes) {
     config.node_count = n;
-    const ExperimentResult r = run_experiment(config, jobs);
+    const ExperimentResult r = run_once(config, jobs);
     out.emplace_back(n, r.makespan);
   }
   return out;
@@ -50,7 +64,7 @@ std::vector<std::pair<std::size_t, SimTime>> makespan_by_size_parallel(
       [&](std::size_t i) {
         ExperimentConfig local = config;
         local.node_count = sizes[i];
-        out[i] = {sizes[i], run_experiment(local, jobs).makespan};
+        out[i] = {sizes[i], run_once(local, jobs).makespan};
       },
       max_threads);
   return out;
@@ -62,7 +76,7 @@ std::vector<ExperimentResult> sweep_experiments(
   std::vector<ExperimentResult> out;
   out.reserve(configs.size());
   for (const ExperimentConfig& c : configs) {
-    out.push_back(run_experiment(c, jobs));
+    out.push_back(run_once(c, jobs));
   }
   return out;
 }
@@ -73,7 +87,7 @@ std::vector<ExperimentResult> sweep_experiments_parallel(
   std::vector<ExperimentResult> out(configs.size());
   ThreadPool::shared().parallel_for(
       configs.size(),
-      [&](std::size_t i) { out[i] = run_experiment(configs[i], jobs); },
+      [&](std::size_t i) { out[i] = run_once(configs[i], jobs); },
       max_threads);
   return out;
 }

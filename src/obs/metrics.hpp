@@ -114,6 +114,9 @@ class ValueHistogram {
  public:
   ValueHistogram(double lo, double hi, std::size_t bins) : hist_(lo, hi, bins) {}
   void add(double x, double weight = 1.0) { hist_.add(x, weight); }
+  /// Drops all samples (bin edges survive) so a finalization pass can
+  /// rebuild the distribution from scratch, idempotently.
+  void reset() { hist_.clear(); }
   [[nodiscard]] const Histogram& histogram() const { return hist_; }
 
  private:

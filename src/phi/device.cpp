@@ -123,6 +123,12 @@ void Device::finalize_telemetry() {
   }
 }
 
+void Device::finalize_telemetry_into(obs::Recorder& recorder) const {
+  if (obs_.rec == nullptr || !oversub_active_) return;
+  recorder.event(sim_.now(), "oversub_end",
+                 {{"device", obs_.prefix}, {"at_run_end", "1"}});
+}
+
 OffloadId Device::start_offload(JobId job, ThreadCount threads, MiB memory,
                                 SimTime duration, OffloadCallback on_complete) {
   PHISCHED_REQUIRE(threads > 0, "start_offload: threads must be positive");

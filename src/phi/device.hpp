@@ -184,6 +184,14 @@ class Device {
   /// counter agrees with the integrated gauges.
   void finalize_telemetry();
 
+  /// Copy-safe variant for mid-run snapshots: performs the same
+  /// episode-closing bookkeeping as finalize_telemetry(), but writes
+  /// into `recorder` (a copy of the attached one) and leaves this
+  /// device — including its open-episode flag and integrated busy time
+  /// — completely untouched, so a snapshot cannot perturb the run.
+  /// No-op unless telemetry was attached.
+  void finalize_telemetry_into(obs::Recorder& recorder) const;
+
  private:
   struct Offload {
     OffloadId id = 0;

@@ -7,7 +7,12 @@
 namespace phisched {
 
 void EventHandle::cancel() {
-  if (auto rec = record_.lock()) rec->cancelled = true;
+  auto rec = record_.lock();
+  if (rec == nullptr || rec->cancelled) return;
+  // A null fn means the event already fired (cancel-from-within-own-
+  // callback); its live count was consumed when it was popped.
+  if (rec->fn != nullptr) rec->owner->live_ -= 1;
+  rec->cancelled = true;
 }
 
 bool EventHandle::pending() const {
@@ -28,6 +33,8 @@ EventHandle Simulator::schedule_at(SimTime t, Callback fn) {
   rec->time = t;
   rec->seq = next_seq_++;
   rec->fn = std::move(fn);
+  rec->owner = this;
+  live_ += 1;
   heap_.push_back(rec);
   std::push_heap(heap_.begin(), heap_.end(), later);
   return EventHandle(rec);
@@ -53,6 +60,7 @@ bool Simulator::step() {
   heap_.pop_back();
   now_ = rec->time;
   ++processed_;
+  live_ -= 1;
   auto fn = std::move(rec->fn);
   rec->fn = nullptr;  // marks the record as fired for EventHandle::pending
   fn();
@@ -81,11 +89,5 @@ std::size_t Simulator::run_until(SimTime t, std::size_t max_events) {
 }
 
 bool Simulator::idle() const { return pending_events() == 0; }
-
-std::size_t Simulator::pending_events() const {
-  return static_cast<std::size_t>(
-      std::count_if(heap_.begin(), heap_.end(),
-                    [](const auto& rec) { return !rec->cancelled; }));
-}
 
 }  // namespace phisched

@@ -23,6 +23,10 @@ struct EventRecord {
   std::uint64_t seq = 0;
   std::function<void()> fn;
   bool cancelled = false;
+  /// Owning simulator, for the live-event counter. Records only live in
+  /// their simulator's heap, so the pointer is valid whenever a handle's
+  /// weak_ptr still locks.
+  Simulator* owner = nullptr;
 };
 }  // namespace detail
 
@@ -74,14 +78,17 @@ class Simulator {
   /// True when no non-cancelled events remain.
   [[nodiscard]] bool idle() const;
 
-  /// Number of pending, non-cancelled events (O(queue size)).
-  [[nodiscard]] std::size_t pending_events() const;
+  /// Number of pending, non-cancelled events. O(1): a live counter is
+  /// bumped on schedule and dropped on fire or EventHandle::cancel().
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
   static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
 
  private:
+  friend class EventHandle;  // cancel() maintains live_
+
   /// Min-heap ordering: earliest (time, seq) on top.
   static bool later(const std::shared_ptr<detail::EventRecord>& a,
                     const std::shared_ptr<detail::EventRecord>& b);
@@ -92,6 +99,7 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
   std::vector<std::shared_ptr<detail::EventRecord>> heap_;
 };
 

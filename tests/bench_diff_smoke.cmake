@@ -1,0 +1,88 @@
+# bench_diff smoke: identical reports pass, a regressed makespan fails
+# with a non-zero exit, an improved makespan passes, and a sub-threshold
+# wobble is tolerated.
+set(BASE ${WORKDIR}/bench_diff_base.json)
+set(SAME ${WORKDIR}/bench_diff_same.json)
+set(WORSE ${WORKDIR}/bench_diff_worse.json)
+set(BETTER ${WORKDIR}/bench_diff_better.json)
+set(WOBBLE ${WORKDIR}/bench_diff_wobble.json)
+
+file(WRITE ${BASE} [=[
+{"bench":"table2","schema_version":1,
+ "environment":{"compiler":"x","build_type":"Release","os":"linux","hardware_concurrency":8},
+ "threads_used":2,"wall_time_s":1.0,
+ "results":[
+  {"seed":42,"metrics":{"mc_makespan_s":1000.0,"mcck_makespan_s":600.0,"mcck_core_util":0.82}},
+  {"seed":43,"metrics":{"mc_makespan_s":1010.0,"mcck_makespan_s":610.0,"mcck_core_util":0.81}}
+ ]}
+]=])
+file(WRITE ${SAME} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mc_makespan_s":1000.0,"mcck_makespan_s":600.0,"mcck_core_util":0.82}},
+  {"seed":43,"metrics":{"mc_makespan_s":1010.0,"mcck_makespan_s":610.0,"mcck_core_util":0.81}}
+ ]}
+]=])
+# 10% worse makespan on one seed AND a utilization drop.
+file(WRITE ${WORSE} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mc_makespan_s":1000.0,"mcck_makespan_s":660.0,"mcck_core_util":0.70}},
+  {"seed":43,"metrics":{"mc_makespan_s":1010.0,"mcck_makespan_s":610.0,"mcck_core_util":0.81}}
+ ]}
+]=])
+file(WRITE ${BETTER} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mc_makespan_s":1000.0,"mcck_makespan_s":540.0,"mcck_core_util":0.88}},
+  {"seed":43,"metrics":{"mc_makespan_s":1010.0,"mcck_makespan_s":550.0,"mcck_core_util":0.87}}
+ ]}
+]=])
+# +1% makespan: inside the default 2% tolerance.
+file(WRITE ${WOBBLE} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mc_makespan_s":1000.0,"mcck_makespan_s":606.0,"mcck_core_util":0.82}},
+  {"seed":43,"metrics":{"mc_makespan_s":1010.0,"mcck_makespan_s":612.0,"mcck_core_util":0.81}}
+ ]}
+]=])
+
+execute_process(COMMAND ${BENCH_DIFF} ${BASE} ${SAME} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical reports flagged as regression (rc=${rc}):\n${out}")
+endif()
+
+execute_process(COMMAND ${BENCH_DIFF} ${BASE} ${WORSE} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "regressed candidate passed:\n${out}")
+endif()
+if(NOT out MATCHES "REGRESS")
+  message(FATAL_ERROR "regression report missing REGRESSED verdict:\n${out}")
+endif()
+
+execute_process(COMMAND ${BENCH_DIFF} ${BASE} ${BETTER} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "improved candidate flagged as regression (rc=${rc}):\n${out}")
+endif()
+if(NOT out MATCHES "improved")
+  message(FATAL_ERROR "improvement not reported:\n${out}")
+endif()
+
+execute_process(COMMAND ${BENCH_DIFF} ${BASE} ${WOBBLE} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sub-threshold wobble flagged (rc=${rc}):\n${out}")
+endif()
+
+# A tighter threshold must catch the wobble.
+execute_process(COMMAND ${BENCH_DIFF} ${BASE} ${WOBBLE} --threshold 0.005
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "tight threshold missed the wobble:\n${out}")
+endif()
+
+# Unreadable input is a usage error (exit 2), not a silent pass.
+execute_process(COMMAND ${BENCH_DIFF} ${WORKDIR}/nonexistent.json ${BASE}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "missing input file did not fail")
+endif()

@@ -1,0 +1,104 @@
+// O(1) pending_events(): the live counter must agree with the queue
+// through every schedule / fire / cancel interleaving, including the
+// lazy-cancellation corners (cancel twice, cancel after fire, cancel
+// from inside the event's own callback).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace phisched {
+namespace {
+
+TEST(PendingCount, TracksScheduleAndFire) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(PendingCount, CancelDecrementsImmediately) {
+  Simulator sim;
+  EventHandle h1 = sim.schedule_at(1.0, [] {});
+  EventHandle h2 = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // Cancelling again must not double-decrement.
+  h1.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  h2.cancel();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.idle());
+  // The cancelled records still sit in the heap until skimmed; running
+  // must process nothing.
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(PendingCount, CancelAfterFireIsANoOp) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  h.cancel();  // already fired; handle's record is gone
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(PendingCount, CancelFromOwnCallbackDoesNotUnderflow) {
+  Simulator sim;
+  EventHandle h;
+  h = sim.schedule_at(1.0, [&h, &sim] {
+    // The event is firing right now: its live count was already
+    // consumed by the pop, so this cancel must change nothing.
+    h.cancel();
+    EXPECT_EQ(sim.pending_events(), 0u);
+  });
+  sim.schedule_at(0.5, [] {}).cancel();
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(PendingCount, CancelOfFutureEventFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle later = sim.schedule_at(5.0, [&fired] { ++fired; });
+  sim.schedule_at(1.0, [&later, &sim] {
+    EXPECT_EQ(sim.pending_events(), 1u);
+    later.cancel();
+    EXPECT_EQ(sim.pending_events(), 0u);
+  });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(PendingCount, AgreesWithPendingHandles) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  handles.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(
+        sim.schedule_at(static_cast<SimTime>(i % 10), [] {}));
+  }
+  for (int i = 0; i < 100; i += 3) handles[static_cast<std::size_t>(i)].cancel();
+  std::size_t live = 0;
+  for (const EventHandle& h : handles) {
+    if (h.pending()) ++live;
+  }
+  EXPECT_EQ(sim.pending_events(), live);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace phisched

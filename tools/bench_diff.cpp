@@ -1,0 +1,393 @@
+// bench_diff: compare two BENCH_*.json reports (bench_json.cpp --json
+// output) metric by metric and fail loudly on regressions.
+//
+//   bench_diff BASELINE.json CANDIDATE.json [--threshold 0.02] [--all]
+//
+// Per-metric means are taken across the seeds each file contains; seeds
+// present in both files are also compared pairwise so a single bad seed
+// cannot hide inside a stable mean. A metric "regresses" when it moves
+// in its bad direction by more than the threshold (relative): makespan,
+// turnaround, wait and energy regress upward; utilization regresses
+// downward. Other metrics are informational only. Exit codes: 0 clean,
+// 1 regression, 2 usage or parse failure.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using phisched::AsciiTable;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, bools, null).
+// The repo's common/json.hpp is writer-only by design; bench reports are
+// machine-written, so this reader can stay strict and tiny.
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::optional<JsonValue> parse() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string_view(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Bench metric names are ASCII; keep the code point literal.
+          if (pos_ + 4 > text_.size()) return false;
+          const unsigned long cp =
+              std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          if (cp > 0x7F) return false;
+          out.push_back(static_cast<char>(cp));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Report model
+// ---------------------------------------------------------------------
+
+struct BenchReport {
+  std::string bench;
+  /// seed -> metric -> value
+  std::map<std::uint64_t, std::map<std::string, double>> runs;
+};
+
+std::optional<BenchReport> load_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = JsonParser(buffer.str()).parse();
+  if (!doc || doc->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+    return std::nullopt;
+  }
+  BenchReport report;
+  if (const JsonValue* name = doc->find("bench");
+      name != nullptr && name->kind == JsonValue::Kind::kString) {
+    report.bench = name->string;
+  }
+  const JsonValue* results = doc->find("results");
+  if (results == nullptr || results->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "bench_diff: %s has no \"results\" array\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  for (const JsonValue& run : results->array) {
+    const JsonValue* seed = run.find("seed");
+    const JsonValue* metrics = run.find("metrics");
+    if (seed == nullptr || seed->kind != JsonValue::Kind::kNumber ||
+        metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "bench_diff: %s has a malformed results entry\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+    auto& row = report.runs[static_cast<std::uint64_t>(seed->number)];
+    for (const auto& [key, value] : metrics->object) {
+      if (value.kind == JsonValue::Kind::kNumber) row[key] = value.number;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// +1: larger is worse (makespan, turnaround, wait, energy).
+/// -1: smaller is worse (utilization).
+///  0: informational only.
+int bad_direction(const std::string& metric) {
+  const auto contains = [&metric](const char* needle) {
+    return metric.find(needle) != std::string::npos;
+  };
+  if (contains("makespan") || contains("turnaround") || contains("wait") ||
+      contains("energy")) {
+    return +1;
+  }
+  if (contains("util")) return -1;
+  return 0;
+}
+
+std::map<std::string, double> metric_means(const BenchReport& report) {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [_, metrics] : report.runs) {
+    for (const auto& [key, value] : metrics) {
+      sums[key] += value;
+      counts[key] += 1;
+    }
+  }
+  for (auto& [key, sum] : sums) sum /= static_cast<double>(counts[key]);
+  return sums;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const phisched::ArgParser args(argc, argv);
+  if (args.positional().size() != 2 || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CANDIDATE.json "
+                 "[--threshold FRACTION] [--all]\n"
+                 "  --threshold  relative regression tolerance "
+                 "(default 0.02 = 2%%)\n"
+                 "  --all        also list metrics with no bad direction\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const double threshold = args.get_real_or("threshold", 0.02);
+  const bool show_all = args.get_bool_or("all", false);
+
+  const auto baseline = load_report(args.positional()[0]);
+  const auto candidate = load_report(args.positional()[1]);
+  if (!baseline || !candidate) return 2;
+  if (!baseline->bench.empty() && !candidate->bench.empty() &&
+      baseline->bench != candidate->bench) {
+    std::fprintf(stderr, "bench_diff: comparing different benches (%s vs %s)\n",
+                 baseline->bench.c_str(), candidate->bench.c_str());
+  }
+
+  const auto base_means = metric_means(*baseline);
+  const auto cand_means = metric_means(*candidate);
+
+  AsciiTable table({"Metric", "Baseline", "Candidate", "Delta", "Delta %",
+                    "Verdict"});
+  std::vector<std::string> regressions;
+  for (const auto& [metric, base] : base_means) {
+    const auto it = cand_means.find(metric);
+    if (it == cand_means.end()) continue;
+    const double cand = it->second;
+    const int direction = bad_direction(metric);
+    if (direction == 0 && !show_all) continue;
+
+    const double delta = cand - base;
+    const double rel = base != 0.0 ? delta / std::fabs(base) : 0.0;
+    std::string verdict = "-";
+    if (direction != 0) {
+      const bool worse = static_cast<double>(direction) * rel > threshold;
+      const bool better = static_cast<double>(direction) * rel < -threshold;
+      verdict = worse ? "REGRESSED" : better ? "improved" : "ok";
+      if (worse) regressions.push_back(metric);
+    }
+    table.add_row({metric, AsciiTable::cell(base, 3), AsciiTable::cell(cand, 3),
+                   AsciiTable::cell(delta, 3), AsciiTable::percent(rel, 2),
+                   verdict});
+  }
+
+  // Seed-paired check: a regression on any shared seed counts even when
+  // the means stay inside the tolerance.
+  for (const auto& [seed, base_metrics] : baseline->runs) {
+    const auto run = candidate->runs.find(seed);
+    if (run == candidate->runs.end()) continue;
+    for (const auto& [metric, base] : base_metrics) {
+      const int direction = bad_direction(metric);
+      if (direction == 0) continue;
+      const auto it = run->second.find(metric);
+      if (it == run->second.end()) continue;
+      const double rel = base != 0.0 ? (it->second - base) / std::fabs(base)
+                                     : 0.0;
+      if (static_cast<double>(direction) * rel > threshold) {
+        const std::string tag =
+            metric + " (seed " + std::to_string(seed) + ")";
+        if (std::find(regressions.begin(), regressions.end(), tag) ==
+            regressions.end()) {
+          regressions.push_back(tag);
+        }
+      }
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("seeds: %zu baseline, %zu candidate; threshold %.1f%%\n",
+              baseline->runs.size(), candidate->runs.size(),
+              threshold * 100.0);
+  if (!regressions.empty()) {
+    std::printf("\nREGRESSIONS (%zu):\n", regressions.size());
+    for (const std::string& r : regressions) std::printf("  %s\n", r.c_str());
+    return 1;
+  }
+  std::printf("no regressions.\n");
+  return 0;
+}

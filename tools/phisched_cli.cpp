@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/harness.hpp"
 #include "cluster/report.hpp"
 #include "common/args.hpp"
 #include "common/json.hpp"
@@ -175,14 +176,20 @@ int main(int argc, char** argv) {
     const std::vector<std::string> metric_filters =
         split_csv(args.get_or("metrics-filter", ""));
 
+    const auto run_stack = [&jobs](const cluster::ExperimentConfig& cfg) {
+      cluster::Harness harness(cfg);
+      harness.submit(jobs);
+      return harness.run_to_completion();
+    };
+
     std::vector<cluster::NamedResult> results;
     if (args.get_bool_or("compare", false)) {
       for (const auto stack :
            {cluster::StackConfig::kMC, cluster::StackConfig::kMCC,
             cluster::StackConfig::kMCCK}) {
         config.stack = stack;
-        results.push_back({cluster::stack_config_name(stack),
-                           cluster::run_experiment(config, jobs)});
+        results.push_back(
+            {cluster::stack_config_name(stack), run_stack(config)});
       }
       std::printf("%zu %s jobs on %zu nodes (seed %llu)\n\n", jobs.size(),
                   workload_name.c_str(), config.node_count,
@@ -190,8 +197,8 @@ int main(int argc, char** argv) {
       std::printf("%s", cluster::comparison_table(results).to_string().c_str());
     } else {
       config.stack = parse_stack(args.get_or("stack", "MCCK"));
-      results.push_back({cluster::stack_config_name(config.stack),
-                         cluster::run_experiment(config, jobs)});
+      results.push_back(
+          {cluster::stack_config_name(config.stack), run_stack(config)});
       std::printf("%s on %zu %s jobs, %zu nodes (seed %llu)\n\n",
                   results[0].name.c_str(), jobs.size(), workload_name.c_str(),
                   config.node_count, static_cast<unsigned long long>(seed));
