@@ -16,6 +16,7 @@
 #include "core/policy.hpp"
 #include "obs/recorder.hpp"
 #include "phi/pcie.hpp"
+#include "phi/pcie_switch.hpp"
 #include "workload/jobspec.hpp"
 
 namespace phisched::cluster {
@@ -74,6 +75,10 @@ struct ExperimentConfig {
   /// card's link fair-share and concurrent containers contend. Mutually
   /// exclusive with pcie_bandwidth_mib_s.
   phi::PcieLinkConfig pcie{};
+  /// Host-side PCIe switch shared by all of a node's cards
+  /// (phi::PcieSwitch, hierarchical contention above the per-card
+  /// links). Off by default; requires pcie.contention when enabled.
+  phi::PcieSwitchConfig pcie_switch{};
   /// Failure-injection switch: run the sharing stacks WITHOUT COSMIC's
   /// memory containers, exposing lying jobs to the raw OOM killer.
   bool disable_containers_for_testing = false;

@@ -62,6 +62,7 @@ void Harness::build_nodes() {
   nc.middleware.queued_resume_overhead_s = config_.queued_resume_overhead;
   nc.middleware.pcie_bandwidth_mib_s = config_.pcie_bandwidth_mib_s;
   nc.device.pcie = config_.pcie;
+  nc.pcie_switch = config_.pcie_switch;
 
   for (NodeId n = 0; n < static_cast<NodeId>(config_.node_count); ++n) {
     nodes_.push_back(std::make_unique<Node>(
@@ -76,6 +77,10 @@ void Harness::build_nodes() {
       for (DeviceId d = 0; d < node.device_count(); ++d) {
         node.device(d).attach_telemetry(
             *recorder_, "phi." + tag + ".mic" + std::to_string(d));
+      }
+      if (node.pcie_switch() != nullptr) {
+        node.pcie_switch()->attach_telemetry(*recorder_,
+                                             "phi." + tag + ".pcie_switch");
       }
     }
   }

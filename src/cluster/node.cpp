@@ -21,6 +21,14 @@ Node::Node(Simulator& sim, NodeId id, NodeConfig config, Rng rng)
     raw.push_back(dev.get());
     devices_.push_back(std::move(dev));
   }
+  if (config_.pcie_switch.enabled) {
+    PHISCHED_REQUIRE(config_.device.pcie.contention,
+                     "Node: pcie_switch requires pcie contention enabled");
+    pcie_switch_ = std::make_unique<phi::PcieSwitch>(
+        sim_, config_.pcie_switch,
+        "pcie_switch@" + condor::machine_name(id_));
+    for (phi::Device* dev : raw) pcie_switch_->add_link(dev->pcie_link());
+  }
   middleware_ =
       std::make_unique<cosmic::NodeMiddleware>(sim_, raw, config_.middleware);
 }

@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "cosmic/middleware.hpp"
 #include "phi/device.hpp"
+#include "phi/pcie_switch.hpp"
 #include "sim/simulator.hpp"
 
 namespace phisched::cluster {
@@ -19,6 +20,9 @@ struct NodeConfig {
   /// Device behaviour knobs; the PhiHardware inside is overridden by
   /// hw.phi so there is a single source of truth.
   phi::DeviceConfig device{};
+  /// Host-side PCIe switch above the per-card links. Requires
+  /// device.pcie.contention when enabled.
+  phi::PcieSwitchConfig pcie_switch{};
   cosmic::MiddlewareConfig middleware{};
 };
 
@@ -36,6 +40,11 @@ class Node {
   [[nodiscard]] cosmic::NodeMiddleware& middleware() { return *middleware_; }
   [[nodiscard]] const cosmic::NodeMiddleware& middleware() const {
     return *middleware_;
+  }
+  /// The node's host-side PCIe switch, or null when not configured.
+  [[nodiscard]] phi::PcieSwitch* pcie_switch() { return pcie_switch_.get(); }
+  [[nodiscard]] const phi::PcieSwitch* pcie_switch() const {
+    return pcie_switch_.get();
   }
 
   [[nodiscard]] int total_slots() const { return config_.hw.slots; }
@@ -57,6 +66,7 @@ class Node {
   NodeId id_;
   NodeConfig config_;
   std::vector<std::unique_ptr<phi::Device>> devices_;
+  std::unique_ptr<phi::PcieSwitch> pcie_switch_;
   std::unique_ptr<cosmic::NodeMiddleware> middleware_;
   int busy_slots_ = 0;
 };

@@ -438,9 +438,12 @@ void NodeMiddleware::start_now(DeviceId d, PendingOffload pending,
         // output is in flight drops the transfer and the callback.
         phi::PcieLink& link =
             devices_[static_cast<std::size_t>(d)].device->pcie_link();
+        // Round up: a small working set with a nonzero output fraction
+        // must still move at least 1 MiB, never a 0-MiB transfer that
+        // pays latency and inflates transfers_out/queue-depth telemetry.
         const MiB out_mib =
             link.enabled()
-                ? static_cast<MiB>(std::llround(
+                ? static_cast<MiB>(std::ceil(
                       static_cast<double>(memory) *
                       link.config().output_fraction))
                 : 0;

@@ -1,9 +1,11 @@
 #include "phi/pcie.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
+#include "phi/pcie_switch.hpp"
 
 namespace phisched::phi {
 
@@ -55,7 +57,7 @@ XferId PcieLink::start_transfer(JobId job, MiB mib, XferDir dir,
   PHISCHED_REQUIRE(enabled(), "PcieLink: start_transfer on a disabled link");
   PHISCHED_REQUIRE(mib >= 0, "PcieLink: negative transfer size");
 
-  settle();
+  settle_all();
 
   const XferId id = next_id_++;
   Transfer t;
@@ -66,8 +68,9 @@ XferId PcieLink::start_transfer(JobId job, MiB mib, XferDir dir,
   // Latency as equivalent wire time: an uncontended transfer takes
   // latency_s + mib/bandwidth, and the latency share dilates under
   // contention exactly like the payload.
-  t.remaining_mib = static_cast<double>(mib) +
-                    config_.latency_s * config_.bandwidth_mib_s;
+  t.wire_mib = static_cast<double>(mib) +
+               config_.latency_s * config_.bandwidth_mib_s;
+  t.remaining_mib = t.wire_mib;
   t.on_done = std::move(on_done);
   transfers_.emplace(id, std::move(t));
 
@@ -78,60 +81,93 @@ XferId PcieLink::start_transfer(JobId job, MiB mib, XferDir dir,
                      {"dir", xfer_dir_name(dir)},
                      {"mib", std::to_string(mib)}});
   }
+  if (uplink_ != nullptr) uplink_->on_transfer_begin(job, mib, dir);
 
-  reconcile();
+  reconcile_all();
   return id;
 }
 
 void PcieLink::cancel_job(JobId job) {
-  settle();
+  settle_all();
   bool changed = false;
   for (auto it = transfers_.begin(); it != transfers_.end();) {
     if (it->second.job == job) {
       it->second.completion.cancel();
       stats_.cancelled += 1;
+      if (uplink_ != nullptr) uplink_->on_transfer_cancelled();
       it = transfers_.erase(it);
       changed = true;
     } else {
       ++it;
     }
   }
-  if (changed) reconcile();
+  if (changed) reconcile_all();
+}
+
+double PcieLink::current_rate() const {
+  if (transfers_.empty()) return 0.0;
+  const double share =
+      config_.bandwidth_mib_s / static_cast<double>(transfers_.size());
+  return uplink_ == nullptr ? share : std::min(share, uplink_->fair_share());
 }
 
 void PcieLink::settle() {
   const SimTime now = sim_.now();
   const SimTime elapsed = now - last_settle_;
   if (elapsed > 0.0 && !transfers_.empty()) {
-    const double rate =
-        config_.bandwidth_mib_s / static_cast<double>(transfers_.size());
+    const double rate = current_rate();
     for (auto& [_, t] : transfers_) {
-      t.remaining_mib = std::max(0.0, t.remaining_mib - elapsed * rate);
+      // No clamp at zero: float drift must stay visible so finish() can
+      // check it against a tolerance instead of silently absorbing it.
+      t.remaining_mib -= elapsed * rate;
     }
   }
   busy_time_.advance_to(now);
   last_settle_ = now;
 }
 
+void PcieLink::settle_all() {
+  if (uplink_ != nullptr) {
+    uplink_->settle_links();
+  } else {
+    settle();
+  }
+}
+
 void PcieLink::reconcile() {
   busy_time_.set(sim_.now(), transfers_.empty() ? 0.0 : 1.0);
   note_depth();
   if (transfers_.empty()) return;
-  const double rate =
-      config_.bandwidth_mib_s / static_cast<double>(transfers_.size());
+  const double rate = current_rate();
   for (auto& [id, t] : transfers_) {
     t.completion.cancel();
-    const SimTime eta = t.remaining_mib / rate;
+    // Drift may leave a completing transfer marginally negative; never
+    // schedule into the past.
+    const SimTime eta = std::max(0.0, t.remaining_mib) / rate;
     const XferId xid = id;
     t.completion = sim_.schedule_in(eta, [this, xid] { finish(xid); });
+  }
+}
+
+void PcieLink::reconcile_all() {
+  if (uplink_ != nullptr) {
+    uplink_->reconcile_links();
+  } else {
+    reconcile();
   }
 }
 
 void PcieLink::finish(XferId id) {
   auto it = transfers_.find(id);
   PHISCHED_CHECK(it != transfers_.end(), "PcieLink: unknown transfer");
-  settle();
-  PHISCHED_CHECK(it->second.remaining_mib <= 1e-6,
+  settle_all();
+  // Relative completion tolerance: each settle() subtracts at double
+  // precision, so after many re-reconciles (long, heavily contended
+  // runs) the residue scales with the transfer's wire size, not with an
+  // absolute constant. 1e-9 relative leaves ~10x headroom over the
+  // worst accumulation a million settles can produce.
+  const double tolerance = 1e-9 * std::max(1.0, it->second.wire_mib);
+  PHISCHED_CHECK(std::fabs(it->second.remaining_mib) <= tolerance,
                  "PcieLink: transfer completed with data remaining");
 
   const Transfer done = std::move(it->second);
@@ -160,8 +196,9 @@ void PcieLink::finish(XferId id) {
                      {"dir", xfer_dir_name(done.dir)},
                      {"mib", std::to_string(done.mib)}});
   }
+  if (uplink_ != nullptr) uplink_->on_transfer_end(done.job, done.mib, done.dir);
 
-  reconcile();
+  reconcile_all();
   if (done.on_done) done.on_done();
 }
 

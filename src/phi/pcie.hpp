@@ -12,7 +12,10 @@
 // The model is processor-sharing on bandwidth: N concurrent transfers
 // each progress at bandwidth/N, re-evaluated whenever a transfer starts,
 // finishes, or is cancelled (same settle/reconcile structure as
-// phi::Device). Per-transfer latency is charged as equivalent wire time
+// phi::Device). When the link is routed through a node's host-side
+// phi::PcieSwitch, each transfer's rate is additionally capped by the
+// switch's fair share — see phi/pcie_switch.hpp for the hierarchical
+// contention model. Per-transfer latency is charged as equivalent wire time
 // (latency_s * bandwidth MiB prepended to the payload), so an
 // uncontended transfer takes latency_s + mib/bandwidth seconds and the
 // latency share stretches under contention like the payload does.
@@ -33,6 +36,8 @@
 #include "sim/simulator.hpp"
 
 namespace phisched::phi {
+
+class PcieSwitch;
 
 using XferId = std::uint64_t;
 
@@ -101,26 +106,43 @@ class PcieLink {
   /// over [0, until].
   [[nodiscard]] double busy_fraction(SimTime until) const;
 
+  /// The host-side switch this link drains through (hierarchical
+  /// contention), or null while the link is flat. Set by
+  /// PcieSwitch::add_link.
+  [[nodiscard]] PcieSwitch* uplink() const { return uplink_; }
+
   /// Registers the link's instruments under `prefix` (e.g.
   /// "phi.node0.mic0.pcie"): busy_frac and transfer_queue_depth series,
   /// bytes_in/out counters (MiB units), and pcie_xfer_begin/end events.
   void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
 
  private:
+  friend class PcieSwitch;  // settle/reconcile fan-out across a node
+
   struct Transfer {
     XferId id = 0;
     JobId job = 0;
     XferDir dir = XferDir::kIn;
     MiB mib = 0;              ///< payload size, for stats and events
-    double remaining_mib = 0; ///< payload + latency-equivalent wire time
+    double wire_mib = 0;      ///< payload + latency-equivalent wire time
+    double remaining_mib = 0; ///< wire time still to move
     Callback on_done;
     EventHandle completion;
   };
 
+  /// Per-transfer rate right now: the card link's fair share, capped by
+  /// the node switch's fair share when the link has an uplink.
+  [[nodiscard]] double current_rate() const;
   /// Integrates transfer progress up to now() at the current fair share.
   void settle();
   /// Recomputes per-transfer rate and completion events after any change.
   void reconcile();
+  /// settle()/reconcile(), fanned out across every link on the node when
+  /// an uplink is attached: any change on one card shifts every card's
+  /// fair share, so the whole node settles at the old rates first and
+  /// reconciles at the new ones after.
+  void settle_all();
+  void reconcile_all();
   void finish(XferId id);
   void note_depth();
 
@@ -137,6 +159,7 @@ class PcieLink {
   Simulator& sim_;
   PcieLinkConfig config_;
   std::string name_;
+  PcieSwitch* uplink_ = nullptr;
   std::map<XferId, Transfer> transfers_;
   XferId next_id_ = 1;
   SimTime last_settle_ = 0.0;

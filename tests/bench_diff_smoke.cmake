@@ -80,6 +80,56 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "tight threshold missed the wobble:\n${out}")
 endif()
 
+# Zero-baseline metrics (e.g. wait time at low load): the relative delta
+# is undefined, so the table must print n/a (never inf/nan) and the
+# verdict must fall back to the absolute delta.
+set(ZBASE ${WORKDIR}/bench_diff_zero_base.json)
+set(ZWORSE ${WORKDIR}/bench_diff_zero_worse.json)
+set(ZSAME ${WORKDIR}/bench_diff_zero_same.json)
+file(WRITE ${ZBASE} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mean_wait_s":0.0,"mcck_makespan_s":600.0}}
+ ]}
+]=])
+file(WRITE ${ZWORSE} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mean_wait_s":3.5,"mcck_makespan_s":600.0}}
+ ]}
+]=])
+file(WRITE ${ZSAME} [=[
+{"bench":"table2","results":[
+  {"seed":42,"metrics":{"mean_wait_s":0.0,"mcck_makespan_s":600.0}}
+ ]}
+]=])
+
+# A regression from a 0 baseline must fail (the old relative-only code
+# reported 0% and exited clean) and must not print inf/nan.
+execute_process(COMMAND ${BENCH_DIFF} ${ZBASE} ${ZWORSE} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "regression from a zero baseline passed:\n${out}")
+endif()
+if(out MATCHES "inf" OR out MATCHES "nan")
+  message(FATAL_ERROR "zero baseline printed inf/nan:\n${out}")
+endif()
+if(NOT out MATCHES "n/a")
+  message(FATAL_ERROR "zero baseline missing n/a delta:\n${out}")
+endif()
+
+# Zero vs zero is clean.
+execute_process(COMMAND ${BENCH_DIFF} ${ZBASE} ${ZSAME} RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical zero-baseline reports flagged (rc=${rc}):\n${out}")
+endif()
+
+# A generous absolute tolerance must absorb the movement.
+execute_process(COMMAND ${BENCH_DIFF} ${ZBASE} ${ZWORSE} --abs-threshold 10.0
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "abs-threshold did not absorb the zero-baseline delta (rc=${rc}):\n${out}")
+endif()
+
 # Unreadable input is a usage error (exit 2), not a silent pass.
 execute_process(COMMAND ${BENCH_DIFF} ${WORKDIR}/nonexistent.json ${BASE}
                 RESULT_VARIABLE rc ERROR_VARIABLE err)

@@ -102,6 +102,93 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_seed" + std::to_string(std::get<1>(param.param));
     });
 
+// Switch-off contract: the pcie_switch field must be completely inert
+// while disabled — every output (exact doubles + telemetry operator==)
+// identical to a default config, for every stack and seed.
+class SwitchOffEquivalence : public ::testing::TestWithParam<StackSeed> {};
+
+TEST_P(SwitchOffEquivalence, DisabledSwitchLeavesEveryOutputBitIdentical) {
+  const auto [stack, seed] = GetParam();
+  const ExperimentConfig config = small_cluster(stack, seed);
+  const auto jobs = workload::make_real_jobset(40, Rng(seed).child("jobs"));
+
+  ExperimentConfig with_field = config;
+  // Knobs under a disabled switch must not leak into the run.
+  with_field.pcie_switch.bandwidth_mib_s = 123.0;
+  ASSERT_FALSE(with_field.pcie_switch.enabled);
+
+  expect_identical(run_experiment(config, jobs),
+                   run_experiment(with_field, jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStacksThreeSeeds, SwitchOffEquivalence,
+    ::testing::Combine(
+        ::testing::Values(StackConfig::kMC, StackConfig::kMCC,
+                          StackConfig::kMCCK, StackConfig::kMCCFirstFit,
+                          StackConfig::kMCCBestFit, StackConfig::kMCCOracle),
+        ::testing::Values(11u, 42u, 1234u)),
+    [](const ::testing::TestParamInfo<StackSeed>& param) {
+      std::string name;
+      switch (std::get<0>(param.param)) {
+        case StackConfig::kMC: name = "MC"; break;
+        case StackConfig::kMCC: name = "MCC"; break;
+        case StackConfig::kMCCK: name = "MCCK"; break;
+        case StackConfig::kMCCFirstFit: name = "MCCFirstFit"; break;
+        case StackConfig::kMCCBestFit: name = "MCCBestFit"; break;
+        case StackConfig::kMCCOracle: name = "MCCOracle"; break;
+      }
+      return name + "_seed" + std::to_string(std::get<1>(param.param));
+    });
+
+TEST(Harness, SnapshotUnderActiveTransfersWithSwitchOff) {
+  // Link contention on, switch off: mid-run snapshots taken while
+  // transfers are in flight must not perturb the stepped run.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 21);
+  config.pcie.contention = true;
+  config.pcie.latency_s = 1e-4;
+  const auto jobs = workload::make_real_jobset(40, Rng(21).child("jobs"));
+
+  const ExperimentResult one_shot = run_experiment(config, jobs);
+
+  Harness harness(config);
+  harness.submit(jobs);
+  while (!harness.complete()) {
+    // Short slices so many snapshots land mid-transfer.
+    harness.run_for(50.0);
+    (void)harness.snapshot();
+  }
+  expect_identical(one_shot, harness.run_to_completion());
+}
+
+TEST(Harness, SnapshotUnderActiveTransfersWithSwitchOn) {
+  // The hierarchical model itself must be snapshot-safe and
+  // deterministic: stepped + snapshots == one-shot, switch enabled.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 23);
+  config.node_hw.phi_devices = 2;
+  config.pcie.contention = true;
+  config.pcie.latency_s = 1e-4;
+  config.pcie_switch.enabled = true;
+  config.pcie_switch.bandwidth_mib_s = config.pcie.bandwidth_mib_s * 1.5;
+  const auto jobs = workload::make_real_jobset(40, Rng(23).child("jobs"));
+
+  const ExperimentResult one_shot = run_experiment(config, jobs);
+
+  Harness harness(config);
+  harness.submit(jobs);
+  while (!harness.complete()) {
+    harness.run_for(50.0);
+    (void)harness.snapshot();
+  }
+  expect_identical(one_shot, harness.run_to_completion());
+}
+
+TEST(Harness, SwitchRequiresLinkContention) {
+  ExperimentConfig config = small_cluster(StackConfig::kMCC, 1);
+  config.pcie_switch.enabled = true;  // without pcie.contention
+  EXPECT_THROW(Harness{config}, std::invalid_argument);
+}
+
 TEST(Harness, DynamicArrivalsEquivalence) {
   // Future submit_times route through scheduled-arrival events; the
   // step-driven path must agree with the one-shot path there too.

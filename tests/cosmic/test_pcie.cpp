@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "cosmic/middleware.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace phisched::cosmic {
@@ -176,6 +177,45 @@ TEST_F(PcieContentionTest, OutputTransferDelaysCompletion) {
   // 1 s input, 5 s execution, then 500 MiB of results back: 0.5 s.
   EXPECT_DOUBLE_EQ(done, 6.5);
   EXPECT_EQ(device_->pcie_link().stats().mib_out, 500);
+}
+
+TEST_F(PcieContentionTest, TinyOutputRoundsUpToOneMib) {
+  // Regression: memory * output_fraction used to be llround()ed, so a
+  // small working set (1 MiB * 0.25 → 0) produced no output transfer at
+  // all. It must round up and move at least 1 MiB.
+  build(1000.0, /*output_fraction=*/0.25);
+  obs::Recorder rec;
+  device_->pcie_link().attach_telemetry(rec, "pcie");
+  admit(1, 2000);
+  SimTime done = -1.0;
+  mw_->request_offload(1, 60, 1, 5.0, [&] { done = sim_.now(); });
+  sim_.run();
+  // 0.001 s input + 5 s execution + 0.001 s for the rounded-up 1 MiB.
+  EXPECT_DOUBLE_EQ(done, 5.002);
+  EXPECT_EQ(device_->pcie_link().stats().transfers_out, 1u);
+  EXPECT_EQ(device_->pcie_link().stats().mib_out, 1);
+  // The event log must show a real (non-zero) output transfer.
+  const auto ends = rec.events().of_type("pcie_xfer_end");
+  ASSERT_EQ(ends.size(), 2u);  // input + output
+  EXPECT_EQ(ends[1].fields[2].second, "out");
+  EXPECT_EQ(ends[1].fields[3].second, "1");
+}
+
+TEST_F(PcieContentionTest, ZeroOutputFractionStartsNoOutputTransfer) {
+  // The other half of the regression: a genuinely empty output must not
+  // start a 0-MiB transfer that pays latency and inflates
+  // transfers_out / queue-depth telemetry.
+  build(1000.0, /*output_fraction=*/0.0);
+  obs::Recorder rec;
+  device_->pcie_link().attach_telemetry(rec, "pcie");
+  admit(1, 2000);
+  SimTime done = -1.0;
+  mw_->request_offload(1, 60, 1000, 5.0, [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_DOUBLE_EQ(done, 6.0);  // no output leg
+  EXPECT_EQ(device_->pcie_link().stats().transfers_out, 0u);
+  EXPECT_EQ(device_->pcie_link().stats().mib_out, 0);
+  EXPECT_EQ(rec.events().of_type("pcie_xfer_end").size(), 1u);  // input only
 }
 
 TEST_F(PcieContentionTest, KilledJobDropsItsLinkTransfer) {

@@ -1,14 +1,18 @@
 // bench_diff: compare two BENCH_*.json reports (bench_json.cpp --json
 // output) metric by metric and fail loudly on regressions.
 //
-//   bench_diff BASELINE.json CANDIDATE.json [--threshold 0.02] [--all]
+//   bench_diff BASELINE.json CANDIDATE.json [--threshold 0.02]
+//              [--abs-threshold 1e-6] [--all]
 //
 // Per-metric means are taken across the seeds each file contains; seeds
 // present in both files are also compared pairwise so a single bad seed
 // cannot hide inside a stable mean. A metric "regresses" when it moves
 // in its bad direction by more than the threshold (relative): makespan,
 // turnaround, wait and energy regress upward; utilization regresses
-// downward. Other metrics are informational only. Exit codes: 0 clean,
+// downward. When the baseline value is exactly 0 (e.g. wait time at low
+// load) a relative delta is undefined — the table prints "n/a" and the
+// verdict falls back to the absolute delta against --abs-threshold.
+// Other metrics are informational only. Exit codes: 0 clean,
 // 1 regression, 2 usage or parse failure.
 #include <algorithm>
 #include <cctype>
@@ -275,18 +279,18 @@ std::optional<BenchReport> load_report(const std::string& path) {
 // Comparison
 // ---------------------------------------------------------------------
 
-/// +1: larger is worse (makespan, turnaround, wait, energy).
-/// -1: smaller is worse (utilization).
+/// +1: larger is worse (makespan, turnaround, wait, energy, latency).
+/// -1: smaller is worse (utilization, throughput in MiB/s).
 ///  0: informational only.
 int bad_direction(const std::string& metric) {
   const auto contains = [&metric](const char* needle) {
     return metric.find(needle) != std::string::npos;
   };
   if (contains("makespan") || contains("turnaround") || contains("wait") ||
-      contains("energy")) {
+      contains("energy") || contains("latency")) {
     return +1;
   }
-  if (contains("util")) return -1;
+  if (contains("util") || contains("mib_s")) return -1;
   return 0;
 }
 
@@ -310,14 +314,18 @@ int main(int argc, char** argv) {
   if (args.positional().size() != 2 || args.has("help")) {
     std::fprintf(stderr,
                  "usage: %s BASELINE.json CANDIDATE.json "
-                 "[--threshold FRACTION] [--all]\n"
-                 "  --threshold  relative regression tolerance "
+                 "[--threshold FRACTION] [--abs-threshold UNITS] [--all]\n"
+                 "  --threshold      relative regression tolerance "
                  "(default 0.02 = 2%%)\n"
-                 "  --all        also list metrics with no bad direction\n",
+                 "  --abs-threshold  absolute tolerance used when the "
+                 "baseline is 0 (default 1e-6)\n"
+                 "  --all            also list metrics with no bad "
+                 "direction\n",
                  args.program().c_str());
     return 2;
   }
   const double threshold = args.get_real_or("threshold", 0.02);
+  const double abs_threshold = args.get_real_or("abs-threshold", 1e-6);
   const bool show_all = args.get_bool_or("all", false);
 
   const auto baseline = load_report(args.positional()[0]);
@@ -343,17 +351,24 @@ int main(int argc, char** argv) {
     if (direction == 0 && !show_all) continue;
 
     const double delta = cand - base;
-    const double rel = base != 0.0 ? delta / std::fabs(base) : 0.0;
+    // A zero baseline has no meaningful relative delta (and naive
+    // division would print inf/nan and corrupt the verdict); fall back
+    // to the absolute delta there.
+    const bool has_rel = base != 0.0;
+    const double rel = has_rel ? delta / std::fabs(base) : 0.0;
     std::string verdict = "-";
     if (direction != 0) {
-      const bool worse = static_cast<double>(direction) * rel > threshold;
-      const bool better = static_cast<double>(direction) * rel < -threshold;
+      const double bad = static_cast<double>(direction) *
+                         (has_rel ? rel : delta);
+      const double limit = has_rel ? threshold : abs_threshold;
+      const bool worse = bad > limit;
+      const bool better = bad < -limit;
       verdict = worse ? "REGRESSED" : better ? "improved" : "ok";
       if (worse) regressions.push_back(metric);
     }
     table.add_row({metric, AsciiTable::cell(base, 3), AsciiTable::cell(cand, 3),
-                   AsciiTable::cell(delta, 3), AsciiTable::percent(rel, 2),
-                   verdict});
+                   AsciiTable::cell(delta, 3),
+                   has_rel ? AsciiTable::percent(rel, 2) : "n/a", verdict});
   }
 
   // Seed-paired check: a regression on any shared seed counts even when
@@ -366,9 +381,11 @@ int main(int argc, char** argv) {
       if (direction == 0) continue;
       const auto it = run->second.find(metric);
       if (it == run->second.end()) continue;
-      const double rel = base != 0.0 ? (it->second - base) / std::fabs(base)
-                                     : 0.0;
-      if (static_cast<double>(direction) * rel > threshold) {
+      const double delta = it->second - base;
+      const bool has_rel = base != 0.0;
+      const double bad = static_cast<double>(direction) *
+                         (has_rel ? delta / std::fabs(base) : delta);
+      if (bad > (has_rel ? threshold : abs_threshold)) {
         const std::string tag =
             metric + " (seed " + std::to_string(seed) + ")";
         if (std::find(regressions.begin(), regressions.end(), tag) ==

@@ -54,6 +54,13 @@ options:
                         outputs reproduce bit-identically)
   --pcie-bandwidth R    PCIe link bandwidth in MiB/s (default 6144; only
                         meaningful with --pcie-contention)
+  --pcie-switch         route each node's card links through a shared
+                        host-side PCIe switch (phi::PcieSwitch,
+                        hierarchical contention; implies
+                        --pcie-contention)
+  --pcie-switch-bandwidth R  switch uplink bandwidth in MiB/s (default
+                        12288 = 2 cards' worth; only meaningful with
+                        --pcie-switch)
   --save-jobs PATH      write the generated job set to PATH and exit
   --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
   --help                this text
@@ -119,7 +126,8 @@ int main(int argc, char** argv) {
         {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
          "arrival-rate", "negotiation-interval", "overcommit", "series",
          "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
-         "metrics-filter", "pcie-contention", "pcie-bandwidth", "help"});
+         "metrics-filter", "pcie-contention", "pcie-bandwidth",
+         "pcie-switch", "pcie-switch-bandwidth", "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());
@@ -169,6 +177,10 @@ int main(int argc, char** argv) {
     config.pcie.contention = args.get_bool_or("pcie-contention", false);
     config.pcie.bandwidth_mib_s =
         args.get_real_or("pcie-bandwidth", config.pcie.bandwidth_mib_s);
+    config.pcie_switch.enabled = args.get_bool_or("pcie-switch", false);
+    if (config.pcie_switch.enabled) config.pcie.contention = true;
+    config.pcie_switch.bandwidth_mib_s = args.get_real_or(
+        "pcie-switch-bandwidth", config.pcie_switch.bandwidth_mib_s);
 
     const auto metrics_path = args.get("metrics-out");
     const auto events_path = args.get("events-out");
