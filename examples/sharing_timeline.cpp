@@ -26,7 +26,10 @@ class TimelineJob {
   TimelineJob(Simulator& sim, cosmic::NodeMiddleware& mw, JobId id,
               OffloadProfile profile, IntervalTrace& trace)
       : sim_(sim), mw_(mw), id_(id), profile_(std::move(profile)),
-        trace_(trace), lane_("J" + std::to_string(id)) {}
+        // std::string lvalue + rvalue picks the append overload; the
+        // `"J" + std::to_string(...)` spelling trips GCC 12's bogus
+        // -Wrestrict diagnosis of the insert path (GCC PR 105651).
+        trace_(trace), lane_(std::string("J") + std::to_string(id)) {}
 
   void start() {
     mw_.submit_job(id_, std::nullopt, 2000, profile_.max_threads(), 16,

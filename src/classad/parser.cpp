@@ -263,12 +263,15 @@ std::string to_string(const Expr& expr) {
     case Expr::Kind::kUnary:
       return std::string(expr.unary_op == UnaryOp::kNot ? "!" : "-") + "(" +
              to_string(*expr.children[0]) + ")";
+    // std::string("(") + ... (not "(" + ...): the const char* + string&&
+    // overload trips GCC 12's bogus -Wrestrict on the insert path (PR
+    // 105651), which -Werror builds would reject.
     case Expr::Kind::kBinary:
-      return "(" + to_string(*expr.children[0]) + " " +
+      return std::string("(") + to_string(*expr.children[0]) + " " +
              binary_op_text(expr.binary_op) + " " +
              to_string(*expr.children[1]) + ")";
     case Expr::Kind::kTernary:
-      return "(" + to_string(*expr.children[0]) + " ? " +
+      return std::string("(") + to_string(*expr.children[0]) + " ? " +
              to_string(*expr.children[1]) + " : " +
              to_string(*expr.children[2]) + ")";
     case Expr::Kind::kCall: {

@@ -1,0 +1,80 @@
+// Runtime contract layer: PHISCHED_CHECK / PHISCHED_REQUIRE / PHISCHED_DCHECK.
+//
+// Simulation code uses PHISCHED_CHECK for invariants that indicate a bug in
+// phisched itself (throws phisched::InternalError) and PHISCHED_REQUIRE for
+// misuse of the public API (throws std::invalid_argument). Both accept a
+// variadic message: every argument after the expression is streamed into the
+// diagnostic, so call sites can carry simulated time and device/node context
+// without paying for string formatting on the non-failing path:
+//
+//   PHISCHED_CHECK(it != transfers_.end(),
+//                  "PcieLink ", name_, ": unknown transfer id=", id,
+//                  " t=", sim_.now());
+//
+// PHISCHED_DCHECK has the same shape but is compiled to a no-op unless
+// PHISCHED_ENABLE_DCHECKS is defined (the build system defines it for Debug
+// builds and for every PHISCHED_SANITIZE flavour, so the sanitizer sweep
+// exercises the contracts). The disabled form still type-checks its
+// arguments inside an `if (false)` so a DCHECK can never rot silently, and
+// operands stay odr-used (no -Wunused fallout in Release).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace phisched::detail {
+
+/// Streams every argument into one diagnostic string. The empty-pack
+/// overload lets PHISCHED_DCHECK(expr) omit the message entirely.
+template <typename... Args>
+std::string check_msg(Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+}  // namespace phisched::detail
+
+/// Internal invariant: failure throws phisched::InternalError.
+#define PHISCHED_CHECK(expr, ...)                               \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::phisched::detail::throw_internal(                       \
+          #expr, __FILE__, __LINE__,                            \
+          ::phisched::detail::check_msg(__VA_ARGS__));          \
+    }                                                           \
+  } while (false)
+
+/// Public-API precondition: failure throws std::invalid_argument.
+#define PHISCHED_REQUIRE(expr, ...)                             \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::phisched::detail::throw_invalid(                        \
+          #expr, __FILE__, __LINE__,                            \
+          ::phisched::detail::check_msg(__VA_ARGS__));          \
+    }                                                           \
+  } while (false)
+
+#if defined(PHISCHED_ENABLE_DCHECKS)
+#define PHISCHED_DCHECK(expr, ...) PHISCHED_CHECK(expr __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define PHISCHED_DCHECK(expr, ...)                              \
+  do {                                                          \
+    if (false) {                                                \
+      PHISCHED_CHECK(expr __VA_OPT__(, ) __VA_ARGS__);          \
+    }                                                           \
+  } while (false)
+#endif
+
+/// True when PHISCHED_DCHECK is active in this translation unit.
+#if defined(PHISCHED_ENABLE_DCHECKS)
+#define PHISCHED_DCHECKS_ENABLED() true
+#else
+#define PHISCHED_DCHECKS_ENABLED() false
+#endif

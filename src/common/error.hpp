@@ -1,8 +1,8 @@
-// Assertion and error-reporting machinery.
+// Error types and throw helpers for the contract layer.
 //
-// Simulation code uses PHISCHED_CHECK for invariants that indicate a bug in
-// phisched itself (throws phisched::InternalError) and PHISCHED_REQUIRE for
-// misuse of the public API (throws std::invalid_argument).
+// The PHISCHED_CHECK / PHISCHED_REQUIRE / PHISCHED_DCHECK macros themselves
+// live in common/check.hpp (included at the bottom for compatibility: every
+// existing `#include "common/error.hpp"` keeps seeing the macros).
 #pragma once
 
 #include <stdexcept>
@@ -25,16 +25,4 @@ namespace detail {
 
 }  // namespace phisched
 
-#define PHISCHED_CHECK(expr, msg)                                         \
-  do {                                                                    \
-    if (!(expr)) {                                                        \
-      ::phisched::detail::throw_internal(#expr, __FILE__, __LINE__, msg); \
-    }                                                                     \
-  } while (false)
-
-#define PHISCHED_REQUIRE(expr, msg)                                      \
-  do {                                                                   \
-    if (!(expr)) {                                                       \
-      ::phisched::detail::throw_invalid(#expr, __FILE__, __LINE__, msg); \
-    }                                                                    \
-  } while (false)
+#include "common/check.hpp"  // IWYU pragma: export — the contract macros

@@ -57,7 +57,9 @@ void NodeMiddleware::attach_telemetry(obs::Recorder& recorder,
   }
   obs_.queue_depth = std::move(depths);
   PHISCHED_CHECK(obs_.queue_depth.size() == devices_.size(),
-                 "attach_telemetry: per-device series binding incomplete");
+                 "NodeMiddleware: attach_telemetry bound ",
+                 obs_.queue_depth.size(), " series for ", devices_.size(),
+                 " devices t=", sim_.now());
 }
 
 void NodeMiddleware::note_queue_depth(DeviceId d) {
@@ -66,8 +68,10 @@ void NodeMiddleware::note_queue_depth(DeviceId d) {
   // Fail loudly rather than index a stale binding: the vector must cover
   // every device whenever a recorder is attached.
   PHISCHED_CHECK(i < obs_.queue_depth.size(),
-                 "note_queue_depth: telemetry bound to fewer series than "
-                 "devices (attach_telemetry re-registration bug)");
+                 "NodeMiddleware: note_queue_depth(device=", d,
+                 ") with only ", obs_.queue_depth.size(),
+                 " bound series (attach_telemetry re-registration bug) t=",
+                 sim_.now());
   obs_.queue_depth[i]->set(sim_.now(),
                            static_cast<double>(devices_[i].queue.size()));
 }
@@ -386,7 +390,8 @@ void NodeMiddleware::admit_offload(JobId job, ThreadCount threads, MiB memory,
                                    std::function<void()> on_start,
                                    int device_index) {
   auto it = jobs_.find(job);
-  PHISCHED_CHECK(it != jobs_.end(), "admit_offload: unknown job");
+  PHISCHED_CHECK(it != jobs_.end(), "NodeMiddleware: admit_offload for "
+                 "unknown job=", job, " t=", sim_.now());
   const Reservation& res = it->second;
 
   if (container_violation(job, res, memory, device_index)) return;
@@ -494,7 +499,10 @@ void NodeMiddleware::release_reservation(JobId job, const Reservation& res) {
     note_queue_depth(d);
     ds.reserved_mem -= res.declared_mem;
     ds.reserved_threads -= res.declared_threads;
-    PHISCHED_CHECK(ds.reserved_mem >= 0, "reservation ledger underflow");
+    PHISCHED_CHECK(ds.reserved_mem >= 0,
+                   "NodeMiddleware: reservation ledger underflow on device=",
+                   d, " (reserved=", ds.reserved_mem, " MiB) releasing job=",
+                   job, " t=", sim_.now());
     ds.device->set_resident_thread_load(ds.reserved_threads);
   }
 }
@@ -542,7 +550,9 @@ std::size_t NodeMiddleware::queued_offloads(DeviceId d) const {
 
 void NodeMiddleware::on_device_kill(JobId job, phi::KillReason reason) {
   auto it = jobs_.find(job);
-  PHISCHED_CHECK(it != jobs_.end(), "device killed a job COSMIC doesn't know");
+  PHISCHED_CHECK(it != jobs_.end(),
+                 "NodeMiddleware: device kill (", phi::kill_reason_name(reason),
+                 ") for job=", job, " COSMIC doesn't know t=", sim_.now());
   const Reservation res = std::move(it->second);
   jobs_.erase(it);
 

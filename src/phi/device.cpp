@@ -53,7 +53,9 @@ void Device::detach_process(JobId job) {
   PHISCHED_REQUIRE(it->second.running_offloads == 0,
                    "detach_process: offloads still running");
   memory_used_ -= it->second.base_memory + it->second.offload_memory;
-  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+  PHISCHED_CHECK(memory_used_ >= 0, "Device ", name_,
+                 ": memory accounting underflow detaching job=", job,
+                 " (used=", memory_used_, " MiB) t=", sim_.now());
   procs_.erase(it);
   note_container(job);
 }
@@ -189,6 +191,9 @@ double Device::energy_joules(SimTime until) const {
 void Device::settle() {
   const SimTime now = sim_.now();
   const SimTime elapsed = now - last_settle_;
+  PHISCHED_DCHECK(elapsed >= 0.0, "Device ", name_,
+                  ": settle moved backwards (now=", now,
+                  " last_settle=", last_settle_, ")");
   if (elapsed > 0.0) {
     for (auto& [_, off] : offloads_) {
       off.remaining_work = std::max(0.0, off.remaining_work - elapsed * speed_);
@@ -268,19 +273,27 @@ void Device::reconcile() {
 
 void Device::finish_offload(OffloadId id) {
   auto it = offloads_.find(id);
-  PHISCHED_CHECK(it != offloads_.end(), "finish_offload: unknown offload");
+  PHISCHED_CHECK(it != offloads_.end(), "Device ", name_,
+                 ": finish_offload for unknown offload id=", id,
+                 " t=", sim_.now());
   settle();
-  PHISCHED_CHECK(it->second.remaining_work <= 1e-6,
-                 "offload completed with work remaining");
+  PHISCHED_CHECK(it->second.remaining_work <= 1e-6, "Device ", name_,
+                 ": offload id=", id, " job=", it->second.job,
+                 " completed with ", it->second.remaining_work,
+                 " work remaining t=", sim_.now());
 
   const JobId job = it->second.job;
   auto on_complete = std::move(it->second.on_complete);
   cores_.release(it->second.alloc);
   memory_used_ -= it->second.memory;
-  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+  PHISCHED_CHECK(memory_used_ >= 0, "Device ", name_,
+                 ": memory accounting underflow finishing offload id=", id,
+                 " job=", job, " (used=", memory_used_, " MiB) t=",
+                 sim_.now());
 
   auto pit = procs_.find(job);
-  PHISCHED_CHECK(pit != procs_.end(), "offload without owning process");
+  PHISCHED_CHECK(pit != procs_.end(), "Device ", name_, ": offload id=", id,
+                 " has no owning process for job=", job, " t=", sim_.now());
   pit->second.running_offloads -= 1;
   pit->second.offload_memory -= it->second.memory;
   pit->second.active_threads -= it->second.threads;
@@ -313,7 +326,9 @@ void Device::check_oom() {
 
 void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
   auto pit = procs_.find(job);
-  PHISCHED_CHECK(pit != procs_.end(), "do_kill: no such process");
+  PHISCHED_CHECK(pit != procs_.end(), "Device ", name_,
+                 ": do_kill for job=", job, " with no resident process t=",
+                 sim_.now());
 
   settle();
 
@@ -343,10 +358,16 @@ void Device::do_kill(JobId job, KillReason reason, bool invoke_callback) {
   }
   PHISCHED_CHECK(pit->second.offload_memory == 0 &&
                      pit->second.running_offloads == 0,
-                 "kill left offload state behind");
+                 "Device ", name_, ": kill of job=", job,
+                 " left offload state behind (offload_mem=",
+                 pit->second.offload_memory,
+                 " running=", pit->second.running_offloads, ") t=",
+                 sim_.now());
 
   memory_used_ -= pit->second.base_memory;
-  PHISCHED_CHECK(memory_used_ >= 0, "device memory accounting underflow");
+  PHISCHED_CHECK(memory_used_ >= 0, "Device ", name_,
+                 ": memory accounting underflow killing job=", job,
+                 " (used=", memory_used_, " MiB) t=", sim_.now());
 
   auto on_kill = std::move(pit->second.on_kill);
   procs_.erase(pit);

@@ -54,8 +54,10 @@ void PcieLink::note_depth() {
 
 XferId PcieLink::start_transfer(JobId job, MiB mib, XferDir dir,
                                 Callback on_done) {
-  PHISCHED_REQUIRE(enabled(), "PcieLink: start_transfer on a disabled link");
-  PHISCHED_REQUIRE(mib >= 0, "PcieLink: negative transfer size");
+  PHISCHED_REQUIRE(enabled(), "PcieLink ", name_,
+                   ": start_transfer on a disabled link (job=", job, ")");
+  PHISCHED_REQUIRE(mib >= 0, "PcieLink ", name_,
+                   ": negative transfer size (job=", job, " mib=", mib, ")");
 
   settle_all();
 
@@ -114,6 +116,9 @@ double PcieLink::current_rate() const {
 void PcieLink::settle() {
   const SimTime now = sim_.now();
   const SimTime elapsed = now - last_settle_;
+  PHISCHED_DCHECK(elapsed >= 0.0, "PcieLink ", name_,
+                  ": settle moved backwards (now=", now,
+                  " last_settle=", last_settle_, ")");
   if (elapsed > 0.0 && !transfers_.empty()) {
     const double rate = current_rate();
     for (auto& [_, t] : transfers_) {
@@ -139,6 +144,9 @@ void PcieLink::reconcile() {
   note_depth();
   if (transfers_.empty()) return;
   const double rate = current_rate();
+  PHISCHED_DCHECK(rate > 0.0, "PcieLink ", name_,
+                  ": non-positive fair-share rate ", rate, " with ",
+                  transfers_.size(), " transfers in flight t=", sim_.now());
   for (auto& [id, t] : transfers_) {
     t.completion.cancel();
     // Drift may leave a completing transfer marginally negative; never
@@ -159,7 +167,8 @@ void PcieLink::reconcile_all() {
 
 void PcieLink::finish(XferId id) {
   auto it = transfers_.find(id);
-  PHISCHED_CHECK(it != transfers_.end(), "PcieLink: unknown transfer");
+  PHISCHED_CHECK(it != transfers_.end(), "PcieLink ", name_,
+                 ": unknown transfer id=", id, " t=", sim_.now());
   settle_all();
   // Relative completion tolerance: each settle() subtracts at double
   // precision, so after many re-reconciles (long, heavily contended
@@ -168,7 +177,10 @@ void PcieLink::finish(XferId id) {
   // worst accumulation a million settles can produce.
   const double tolerance = 1e-9 * std::max(1.0, it->second.wire_mib);
   PHISCHED_CHECK(std::fabs(it->second.remaining_mib) <= tolerance,
-                 "PcieLink: transfer completed with data remaining");
+                 "PcieLink ", name_, ": transfer id=", id,
+                 " job=", it->second.job, " completed with ",
+                 it->second.remaining_mib, " wire-MiB remaining (tolerance=",
+                 tolerance, ") t=", sim_.now());
 
   const Transfer done = std::move(it->second);
   transfers_.erase(it);

@@ -16,16 +16,18 @@ PcieSwitch::PcieSwitch(Simulator& sim, PcieSwitchConfig config,
 }
 
 void PcieSwitch::add_link(PcieLink& link) {
-  PHISCHED_REQUIRE(enabled(), "PcieSwitch: add_link on a disabled switch");
-  PHISCHED_REQUIRE(link.enabled(),
-                   "PcieSwitch: member links must have contention enabled");
-  PHISCHED_REQUIRE(link.uplink() == nullptr,
-                   "PcieSwitch: link already routed through a switch");
-  PHISCHED_REQUIRE(link.active_transfers() == 0,
-                   "PcieSwitch: add_link with transfers in flight");
+  PHISCHED_REQUIRE(enabled(), "PcieSwitch ", name_,
+                   ": add_link on a disabled switch (link=", link.name(), ")");
+  PHISCHED_REQUIRE(link.enabled(), "PcieSwitch ", name_, ": member link ",
+                   link.name(), " must have contention enabled");
+  PHISCHED_REQUIRE(link.uplink() == nullptr, "PcieSwitch ", name_, ": link ",
+                   link.name(), " already routed through a switch");
+  PHISCHED_REQUIRE(link.active_transfers() == 0, "PcieSwitch ", name_,
+                   ": add_link with transfers in flight on ", link.name(),
+                   " t=", sim_.now());
   PHISCHED_REQUIRE(std::find(links_.begin(), links_.end(), &link) ==
                        links_.end(),
-                   "PcieSwitch: duplicate link");
+                   "PcieSwitch ", name_, ": duplicate link ", link.name());
   link.uplink_ = this;
   links_.push_back(&link);
 }

@@ -11,7 +11,12 @@ void EventHandle::cancel() {
   if (rec == nullptr || rec->cancelled) return;
   // A null fn means the event already fired (cancel-from-within-own-
   // callback); its live count was consumed when it was popped.
-  if (rec->fn != nullptr) rec->owner->live_ -= 1;
+  if (rec->fn != nullptr) {
+    PHISCHED_DCHECK(rec->owner->live_ > 0,
+                    "live-event counter underflow cancelling event seq=",
+                    rec->seq, " t=", rec->time);
+    rec->owner->live_ -= 1;
+  }
   rec->cancelled = true;
 }
 
@@ -27,8 +32,9 @@ bool Simulator::later(const std::shared_ptr<detail::EventRecord>& a,
 }
 
 EventHandle Simulator::schedule_at(SimTime t, Callback fn) {
-  PHISCHED_REQUIRE(t >= now_, "schedule_at: cannot schedule in the past");
-  PHISCHED_REQUIRE(fn != nullptr, "schedule_at: null callback");
+  PHISCHED_REQUIRE(t >= now_, "schedule_at: cannot schedule in the past (t=",
+                   t, " now=", now_, ")");
+  PHISCHED_REQUIRE(fn != nullptr, "schedule_at: null callback (t=", t, ")");
   auto rec = std::make_shared<detail::EventRecord>();
   rec->time = t;
   rec->seq = next_seq_++;
@@ -58,6 +64,9 @@ bool Simulator::step() {
   std::pop_heap(heap_.begin(), heap_.end(), later);
   auto rec = std::move(heap_.back());
   heap_.pop_back();
+  PHISCHED_DCHECK(rec->time >= now_,
+                  "event clock went backwards: event t=", rec->time,
+                  " seq=", rec->seq, " now=", now_);
   now_ = rec->time;
   ++processed_;
   live_ -= 1;
@@ -70,19 +79,22 @@ bool Simulator::step() {
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
   while (step()) {
-    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget");
+    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget (",
+                   max_events, " events; t=", now_, ")");
   }
   return n;
 }
 
 std::size_t Simulator::run_until(SimTime t, std::size_t max_events) {
-  PHISCHED_REQUIRE(t >= now_, "run_until: target time in the past");
+  PHISCHED_REQUIRE(t >= now_, "run_until: target time in the past (t=", t,
+                   " now=", now_, ")");
   std::size_t n = 0;
   for (;;) {
     skim();
     if (heap_.empty() || heap_.front()->time > t) break;
     step();
-    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget");
+    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget (",
+                   max_events, " events; t=", now_, ")");
   }
   now_ = t;
   return n;

@@ -20,11 +20,17 @@ ExprPtr random_expr(Rng& rng, int depth) {
         return make_literal(
             Value::real(static_cast<double>(rng.uniform_int(-40, 40)) / 4.0));
       case 2: return make_literal(Value::boolean(rng.bernoulli(0.5)));
-      case 3: return make_literal(Value::string("s" + std::to_string(rng.uniform_int(0, 3))));
-      case 4: return make_attr(AttrScope::kMy, "a" + std::to_string(rng.uniform_int(0, 2)));
+      // std::string("x") + ...: the const char* + string&& overload trips
+      // GCC 12's bogus -Wrestrict (PR 105651) under -Werror.
+      case 3:
+        return make_literal(Value::string(
+            std::string("s") + std::to_string(rng.uniform_int(0, 3))));
+      case 4:
+        return make_attr(AttrScope::kMy,
+                         std::string("a") + std::to_string(rng.uniform_int(0, 2)));
       default:
         return make_attr(AttrScope::kTarget,
-                         "b" + std::to_string(rng.uniform_int(0, 2)));
+                         std::string("b") + std::to_string(rng.uniform_int(0, 2)));
     }
   }
   switch (rng.uniform_int(0, 8)) {

@@ -149,7 +149,9 @@ TEST(Footprint, SweepFindsSmallestCluster) {
   EXPECT_LE(f.makespan_at_footprint, target);
   // Every probed size below the footprint missed the target.
   for (const auto& [n, makespan] : f.sweep) {
-    if (n < f.nodes) EXPECT_GT(makespan, target);
+    if (n < f.nodes) {
+      EXPECT_GT(makespan, target);
+    }
   }
 }
 

@@ -57,7 +57,7 @@ TEST_P(GangStacks, MixedGangAndSingleJobsComplete) {
 INSTANTIATE_TEST_SUITE_P(
     Stacks, GangStacks,
     ::testing::Values(StackConfig::kMC, StackConfig::kMCC, StackConfig::kMCCK),
-    [](const auto& info) { return stack_config_name(info.param); });
+    [](const auto& suite_info) { return stack_config_name(suite_info.param); });
 
 TEST(GangExperiment, RejectedWhenNodesHaveTooFewDevices) {
   workload::JobSet jobs{dual_device_job(0)};

@@ -1,0 +1,95 @@
+// The contract layer proper: variadic message formatting and DCHECK
+// semantics. test_error.cpp covers the exception taxonomy; this file pins
+// down what the formatted diagnostics actually contain. DCHECKs are forced
+// on for this TU so the active path is tested even in Release builds.
+#ifndef PHISCHED_ENABLE_DCHECKS
+#define PHISCHED_ENABLE_DCHECKS
+#endif
+
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace phisched {
+namespace {
+
+std::string check_what(bool pass, double t, int job) {
+  try {
+    PHISCHED_CHECK(pass, "Device mic0: job=", job, " t=", t);
+  } catch (const InternalError& e) {
+    return e.what();
+  }
+  return std::string();
+}
+
+TEST(Check, StreamsEveryMessageArgument) {
+  const std::string what = check_what(false, 12.5, 42);
+  EXPECT_NE(what.find("Device mic0: job=42 t=12.5"), std::string::npos);
+}
+
+TEST(Check, NoThrowMeansNoMessage) {
+  EXPECT_EQ(check_what(true, 1.0, 1), "");
+}
+
+TEST(Check, MessageIsOptional) {
+  EXPECT_THROW(PHISCHED_CHECK(false), InternalError);
+  EXPECT_NO_THROW(PHISCHED_CHECK(true));
+}
+
+TEST(Check, RequireStreamsArguments) {
+  try {
+    PHISCHED_REQUIRE(false, "bandwidth must be positive, got ", -3.5);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bandwidth must be positive, got -3.5"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, DchecksEnabledInThisTu) {
+  EXPECT_TRUE(PHISCHED_DCHECKS_ENABLED());
+}
+
+TEST(Check, ActiveDcheckThrowsWithMessage) {
+  try {
+    PHISCHED_DCHECK(1 < 0, "elapsed=", -0.25, " now=", 3.0);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 < 0"), std::string::npos);
+    EXPECT_NE(what.find("elapsed=-0.25 now=3"), std::string::npos);
+  }
+}
+
+TEST(Check, ActiveDcheckWithoutMessage) {
+  EXPECT_THROW(PHISCHED_DCHECK(false), InternalError);
+  EXPECT_NO_THROW(PHISCHED_DCHECK(true));
+}
+
+TEST(Check, PassingExpressionEvaluatedExactlyOnce) {
+  int evals = 0;
+  auto bump = [&evals] {
+    ++evals;
+    return true;
+  };
+  PHISCHED_CHECK(bump(), "side effects must not be duplicated");
+  EXPECT_EQ(evals, 1);
+  PHISCHED_DCHECK(bump());
+  EXPECT_EQ(evals, 2);
+}
+
+TEST(Check, CheckMsgEmptyPack) {
+  EXPECT_EQ(detail::check_msg(), "");
+}
+
+TEST(Check, CheckMsgMixedTypes) {
+  EXPECT_EQ(detail::check_msg("n=", 7, " frac=", 0.5, " name=",
+                              std::string("mic1")),
+            "n=7 frac=0.5 name=mic1");
+}
+
+}  // namespace
+}  // namespace phisched

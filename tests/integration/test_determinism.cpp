@@ -46,7 +46,7 @@ TEST_P(DeterminismTest, SeedChangesRandomizedStacks) {
 INSTANTIATE_TEST_SUITE_P(
     Stacks, DeterminismTest,
     ::testing::Values(StackConfig::kMC, StackConfig::kMCC, StackConfig::kMCCK),
-    [](const auto& info) { return stack_config_name(info.param); });
+    [](const auto& suite_info) { return stack_config_name(suite_info.param); });
 
 TEST(Determinism, WorkloadGenerationIsPure) {
   const auto a = workload::make_real_jobset(100, Rng(5).child("x"));

@@ -55,9 +55,10 @@ TEST_P(FailureInjection, LiarsAreKilledHonestJobsComplete) {
 INSTANTIATE_TEST_SUITE_P(
     SharingStacks, FailureInjection,
     ::testing::Values(StackConfig::kMCC, StackConfig::kMCCK),
-    [](const auto& info) {
-      return std::string(stack_config_name(info.param)) == "MCCK" ? "MCCK"
-                                                                  : "MCC";
+    [](const auto& suite_info) {
+      return std::string(stack_config_name(suite_info.param)) == "MCCK"
+                 ? "MCCK"
+                 : "MCC";
     });
 
 TEST(FailureInjectionMc, ExclusiveModeToleratesLiesThatFitTheCard) {

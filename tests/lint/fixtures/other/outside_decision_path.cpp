@@ -1,0 +1,24 @@
+// Lint fixture: negative control for path classification. This file is NOT
+// under a decision-path directory (sim/ phi/ cosmic/ condor/ cluster/), so
+// the path-scoped rules (unordered-iter, schedule-tiebreak) must stay quiet
+// even though both patterns appear below. Path-independent rules would
+// still fire, so this file deliberately contains none of their triggers.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+struct Sample {
+  double time = 0.0;
+};
+
+double report_total(const std::unordered_map<int, double>& counters) {
+  double sum = 0.0;
+  for (const auto& [key, value] : counters) sum += value;  // report-only code
+  return sum;
+}
+
+void order_samples(std::vector<Sample>& samples) {
+  std::sort(samples.begin(), samples.end(), [](const Sample& a, const Sample& b) {
+    return a.time < b.time;  // fine here: not simulator decision code
+  });
+}

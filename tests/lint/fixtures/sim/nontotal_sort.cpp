@@ -1,0 +1,23 @@
+// Lint fixture: nontotal-sort. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. Line numbers are asserted by the test.
+#include <algorithm>
+#include <vector>
+
+struct Job {
+  int prio = 0;
+  int seq = 0;
+};
+
+void order_jobs(std::vector<Job>& jobs) {
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.prio <= b.prio && a.seq <= b.seq;  // line 12: violation (call site)
+  });
+}
+
+void order_jobs_allowed(std::vector<Job>& jobs) {
+  // Fixture-only suppression example; real code should fix the comparator.
+  // phisched-lint: allow(nontotal-sort)
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.prio <= b.prio && a.seq <= b.seq;  // suppressed at line 20
+  });
+}

@@ -1,0 +1,13 @@
+// Lint fixture: pointer-key. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. Line numbers are asserted by the test.
+#include <map>
+
+struct Device {};
+
+struct Registry {
+  std::map<Device*, int> slots_;  // line 8: violation
+
+  // Address-identity cache: only ever probed by find(), never iterated.
+  // phisched-lint: allow(pointer-key)
+  std::map<Device*, int> cache_;  // line 12: suppressed
+};

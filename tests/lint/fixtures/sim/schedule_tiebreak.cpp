@@ -1,0 +1,39 @@
+// Lint fixture: schedule-tiebreak. Lint fodder for tests/lint_fixtures.cmake
+// — never compiled. Line numbers are asserted by the test.
+#include <algorithm>
+#include <vector>
+
+struct Event {
+  double time = 0.0;
+  unsigned long seq = 0;
+};
+
+void order_events(std::vector<Event>& events) {
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.time < b.time;  // line 12: violation (call site)
+  });
+}
+
+void order_events_total(std::vector<Event>& events) {
+  // Clean: explicit (time, seq) tie-break — same shape as the simulator heap.
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+}
+
+void order_events_stable(std::vector<Event>& events) {
+  // Clean: stable_sort's stability IS the deterministic tie-break.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void order_events_allowed(std::vector<Event>& events) {
+  // Fixture-only suppression example.
+  // phisched-lint: allow(schedule-tiebreak)
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.time < b.time;  // suppressed at line 35
+  });
+}

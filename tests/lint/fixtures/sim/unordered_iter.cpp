@@ -1,0 +1,23 @@
+// Lint fixture: unordered-iter. This file is lint fodder for
+// tests/lint_fixtures.cmake — it is never compiled. The `sim/` directory
+// component makes it a decision path. Line numbers are asserted by the
+// test; append below the suppressed block only.
+#include <unordered_map>
+
+struct Scheduler {
+  std::unordered_map<int, double> load_;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [device, load] : load_) sum += load;  // line 12: violation
+    return sum;
+  }
+
+  double total_allowed() const {
+    double sum = 0.0;
+    // Values-only fold: order cannot leak into the result.
+    // phisched-lint: allow(unordered-iter)
+    for (const auto& [device, load] : load_) sum += load;  // line 20: suppressed
+    return sum;
+  }
+};

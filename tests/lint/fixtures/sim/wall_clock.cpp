@@ -1,0 +1,13 @@
+// Lint fixture: wall-clock. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. Line numbers are asserted by the test.
+#include <cstdlib>
+#include <ctime>
+
+long jitter_seed() {
+  return time(nullptr) + rand();  // line 7: two violations
+}
+
+long logged_wall_clock() {
+  // Log-only timestamp, never feeds a simulation decision.
+  return time(nullptr);  // phisched-lint: allow(wall-clock)  (line 12)
+}

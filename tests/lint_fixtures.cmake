@@ -1,0 +1,90 @@
+# phisched_lint fixture tests: each rule has a fixture file with one known
+# violation and one suppressed instance; this script asserts exact rule IDs
+# and file:line positions in both human and --json output, the suppression
+# counts, the decision-path negative control, and the exit codes.
+#
+# Invoked by ctest as:
+#   cmake -DLINT=<phisched_lint> -DFIXTURES=<tests/lint/fixtures> -P lint_fixtures.cmake
+
+function(assert_contains haystack needle what)
+  string(FIND "${haystack}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find '${needle}' in:\n${haystack}")
+  endif()
+endfunction()
+
+function(assert_not_contains haystack needle what)
+  string(FIND "${haystack}" "${needle}" at)
+  if(NOT at EQUAL -1)
+    message(FATAL_ERROR "${what}: must NOT contain '${needle}':\n${haystack}")
+  endif()
+endfunction()
+
+# --- human mode over the full fixture tree: exit 1, exact file:line rules ---
+execute_process(
+  COMMAND ${LINT} ${FIXTURES}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "human mode: expected exit 1 on fixtures, got ${rc}\n${out}${err}")
+endif()
+
+assert_contains("${out}" "sim/unordered_iter.cpp:12: [unordered-iter]" "human")
+assert_contains("${out}" "sim/wall_clock.cpp:7: [wall-clock]" "human")
+assert_contains("${out}" "sim/pointer_key.cpp:8: [pointer-key]" "human")
+assert_contains("${out}" "sim/nontotal_sort.cpp:12: [nontotal-sort]" "human")
+assert_contains("${out}" "sim/schedule_tiebreak.cpp:12: [schedule-tiebreak]" "human")
+assert_contains("${out}" "6 finding(s), 5 suppressed, 6 file(s) scanned" "human summary")
+# Suppressed instances must not surface as findings in human mode.
+assert_not_contains("${out}" "unordered_iter.cpp:20" "human suppressed")
+assert_not_contains("${out}" "wall_clock.cpp:12" "human suppressed")
+assert_not_contains("${out}" "pointer_key.cpp:12" "human suppressed")
+assert_not_contains("${out}" "nontotal_sort.cpp:20" "human suppressed")
+assert_not_contains("${out}" "schedule_tiebreak.cpp:35" "human suppressed")
+# Path-scoped rules must stay quiet outside decision paths.
+assert_not_contains("${out}" "outside_decision_path" "negative control")
+
+# --- JSON mode: machine-readable findings incl. suppressed entries --------
+execute_process(
+  COMMAND ${LINT} --json ${FIXTURES}
+  OUTPUT_VARIABLE jout
+  ERROR_VARIABLE jerr
+  RESULT_VARIABLE jrc)
+if(NOT jrc EQUAL 1)
+  message(FATAL_ERROR "json mode: expected exit 1 on fixtures, got ${jrc}\n${jout}${jerr}")
+endif()
+assert_contains("${jout}" "\"tool\": \"phisched_lint\"" "json header")
+assert_contains("${jout}" "\"findings\": 6" "json counts")
+assert_contains("${jout}" "\"suppressed\": 5" "json counts")
+foreach(rule unordered-iter wall-clock pointer-key nontotal-sort schedule-tiebreak)
+  assert_contains("${jout}" "\"rule\": \"${rule}\"" "json rule ids")
+endforeach()
+# Spot-check one active and one suppressed record's file/line pairing.
+assert_contains("${jout}" "sim/unordered_iter.cpp\"" "json file")
+assert_contains("${jout}" "\"line\": 12" "json line")
+assert_contains("${jout}" "\"line\": 20" "json suppressed line")
+assert_contains("${jout}" "\"suppressed\": true" "json suppressed flag")
+
+# --- clean input: exit 0 ---------------------------------------------------
+execute_process(
+  COMMAND ${LINT} ${FIXTURES}/other
+  OUTPUT_VARIABLE cout
+  RESULT_VARIABLE crc)
+if(NOT crc EQUAL 0)
+  message(FATAL_ERROR "clean dir: expected exit 0, got ${crc}\n${cout}")
+endif()
+assert_contains("${cout}" "0 finding(s), 0 suppressed" "clean summary")
+
+# --- usage errors: exit 2 --------------------------------------------------
+execute_process(COMMAND ${LINT} RESULT_VARIABLE urc OUTPUT_QUIET ERROR_QUIET)
+if(NOT urc EQUAL 2)
+  message(FATAL_ERROR "no-args: expected exit 2, got ${urc}")
+endif()
+execute_process(COMMAND ${LINT} ${FIXTURES}/does_not_exist
+  RESULT_VARIABLE mrc OUTPUT_QUIET ERROR_QUIET)
+if(NOT mrc EQUAL 2)
+  message(FATAL_ERROR "missing path: expected exit 2, got ${mrc}")
+endif()
+
+message(STATUS "lint fixture assertions passed")

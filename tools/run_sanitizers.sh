@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer sweep: configure, build, and run the `sanitize`-labelled test
-# suites under both the asan (ASan+UBSan) and tsan CMake presets.
+# suites under each sanitizer CMake preset. The default preset list covers
+# every sanitizer flavour the tree supports; pass preset names to run a
+# subset (CI shards asan+tsan and ubsan into separate jobs this way).
 #
 # Usage:
-#   tools/run_sanitizers.sh [preset ...]   # default: asan tsan
+#   tools/run_sanitizers.sh [preset ...]   # default: asan tsan ubsan
 #
 # Exits non-zero on the first failing preset. Intended both for direct
 # use and as the body of the `sanitizer_sweep` CTest entry registered in
@@ -14,9 +16,10 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+default_presets=(asan tsan ubsan)
 presets=("$@")
 if [ "${#presets[@]}" -eq 0 ]; then
-  presets=(asan tsan)
+  presets=("${default_presets[@]}")
 fi
 
 for preset in "${presets[@]}"; do
