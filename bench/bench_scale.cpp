@@ -1,0 +1,158 @@
+// Sharded-engine scaling: the 1,000-node synthetic sweep the sequential
+// loop was capping (top ROADMAP item), run on sim::ShardedSimulator at
+// shard counts 1/2/4/8 and timed against the sequential engine.
+//
+// Two kinds of numbers come out, and the gate treats them differently:
+//
+//  * Simulation outputs (makespan, utilization, energy, turnaround) are
+//    deterministic and must be IDENTICAL across engines and shard counts
+//    — this harness hard-fails on the first mismatch, so the perf gate
+//    doubles as an equivalence check at a scale the unit suites don't
+//    reach. They diff at the default tolerance.
+//  * Wall-clock speedup vs the sequential engine (and raw events/sec,
+//    informational) depends on the machine. bench/golden/BENCH_scale.json
+//    records the numbers of whatever box generated it; the CI gate diffs
+//    speedup with --threshold 0.10 so a >10% scaling regression fails
+//    while timing noise does not. On a single-core host the honest
+//    speedup is ~1x (the windows still serialize); the >=2x target needs
+//    >=4 hardware threads.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "workload/jobset.hpp"
+
+namespace {
+
+using namespace phisched;
+
+constexpr std::size_t kNodes = 1000;
+constexpr std::size_t kJobs = 2000;
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+/// Wall-clock repetitions per configuration; the reported time is the
+/// minimum, the standard way to keep scheduler noise out of a gated
+/// timing (the simulation output is deterministic, so extra runs only
+/// cost wall time).
+constexpr int kTimingReps = 2;
+
+cluster::ExperimentConfig scale_config(std::uint64_t seed,
+                                       std::size_t shards) {
+  cluster::ExperimentConfig config;
+  config.node_count = kNodes;
+  config.stack = cluster::StackConfig::kMCCK;
+  config.seed = seed;
+  config.parallel_shards = shards;
+  return config;
+}
+
+struct Timed {
+  cluster::ExperimentResult result;
+  double wall_s = 0.0;
+};
+
+Timed timed_run(const cluster::ExperimentConfig& config,
+                const workload::JobSet& jobs) {
+  Timed t;
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    t.result = bench::run_stack(config, jobs);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (rep == 0 || wall < t.wall_s) t.wall_s = wall;
+  }
+  return t;
+}
+
+/// The bit-identical contract, enforced at bench scale: any drift between
+/// the engines is a correctness bug, not a perf number, so die loudly.
+void require_identical(const cluster::ExperimentResult& seq,
+                       const cluster::ExperimentResult& par,
+                       std::size_t shards) {
+  const bool same = seq.makespan == par.makespan &&
+                    seq.avg_core_utilization == par.avg_core_utilization &&
+                    seq.device_energy_mj == par.device_energy_mj &&
+                    seq.mean_turnaround == par.mean_turnaround &&
+                    seq.jobs_completed == par.jobs_completed &&
+                    seq.jobs_failed == par.jobs_failed &&
+                    seq.negotiation_cycles == par.negotiation_cycles &&
+                    seq.offloads_started == par.offloads_started &&
+                    seq.events_processed == par.events_processed;
+  if (!same) {
+    std::fprintf(stderr,
+                 "bench_scale: sharded run (%zu shards) diverged from the "
+                 "sequential engine (makespan %.17g vs %.17g, events %llu "
+                 "vs %llu)\n",
+                 shards, par.makespan, seq.makespan,
+                 static_cast<unsigned long long>(par.events_processed),
+                 static_cast<unsigned long long>(seq.events_processed));
+    std::exit(1);
+  }
+}
+
+std::map<std::string, double> run_seed(std::uint64_t seed) {
+  const auto jobs = workload::make_synthetic_jobset(
+      workload::Distribution::kUniform, kJobs, Rng(seed).child("jobs"));
+
+  const Timed seq = timed_run(scale_config(seed, 0), jobs);
+
+  std::map<std::string, double> m;
+  m["scale.makespan_s"] = seq.result.makespan;
+  m["scale.core_utilization"] = seq.result.avg_core_utilization;
+  m["scale.mean_turnaround_s"] = seq.result.mean_turnaround;
+  m["scale.events"] = static_cast<double>(seq.result.events_processed);
+  m["scale.seq_events_per_sec"] =
+      static_cast<double>(seq.result.events_processed) / seq.wall_s;
+
+  for (const std::size_t shards : kShardCounts) {
+    const Timed par = timed_run(scale_config(seed, shards), jobs);
+    require_identical(seq.result, par.result, shards);
+    const std::string tag = ".shards" + std::to_string(shards);
+    m["scale.events_per_sec" + tag] =
+        static_cast<double>(par.result.events_processed) / par.wall_s;
+    m["scale.speedup" + tag] = seq.wall_s / par.wall_s;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "scale", run_seed)) return 0;
+
+  print_header("Sharded engine scaling: 1,000-node synthetic sweep",
+               "engine scalability (enables Figs. 5-7 at cluster scale)");
+
+  const auto jobs = phisched::workload::make_synthetic_jobset(
+      phisched::workload::Distribution::kUniform, kJobs,
+      phisched::Rng(42).child("jobs"));
+  const Timed seq = timed_run(scale_config(42, 0), jobs);
+  std::printf("sequential: %llu events in %.2f s (%.0f events/s), "
+              "makespan %.1f s\n\n",
+              static_cast<unsigned long long>(seq.result.events_processed),
+              seq.wall_s,
+              static_cast<double>(seq.result.events_processed) / seq.wall_s,
+              seq.result.makespan);
+
+  phisched::AsciiTable table(
+      {"Shards", "Wall (s)", "Events/s", "Speedup", "Output"});
+  for (const std::size_t shards : kShardCounts) {
+    const Timed par = timed_run(scale_config(42, shards), jobs);
+    require_identical(seq.result, par.result, shards);
+    table.add_row(
+        {std::to_string(shards), phisched::AsciiTable::cell(par.wall_s, 2),
+         phisched::AsciiTable::cell(
+             static_cast<double>(par.result.events_processed) / par.wall_s,
+             0),
+         phisched::AsciiTable::cell(seq.wall_s / par.wall_s, 2),
+         "bit-identical"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

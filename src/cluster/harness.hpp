@@ -109,7 +109,9 @@ class Harness {
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   /// Power-user access to the event loop (e.g. to interleave custom
   /// events with the cluster's); scheduling into the past is rejected.
-  [[nodiscard]] Simulator& simulator() { return sim_; }
+  /// A sim::ShardedSimulator when config.parallel_shards > 1, the
+  /// sequential engine otherwise — same surface, bit-identical behaviour.
+  [[nodiscard]] Simulator& simulator() { return *sim_; }
 
   // -- Results -------------------------------------------------------
 
@@ -152,7 +154,9 @@ class Harness {
 
   ExperimentConfig config_;
   Rng rng_;
-  Simulator sim_;
+  /// The engine, chosen by config_.parallel_shards (0/1 = sequential).
+  /// Declared before every component that captures a Simulator&.
+  std::unique_ptr<Simulator> sim_;
   condor::Schedd schedd_;
   condor::Collector collector_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -1,0 +1,459 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/threadpool.hpp"
+
+namespace phisched {
+
+namespace {
+
+constexpr SimTime kNoClip = std::numeric_limits<SimTime>::infinity();
+
+/// Provisional stamps live in their own number range, far above anything
+/// the finalized-stamp counter can reach, so a merge-time schedule (which
+/// advances the counter) can never produce a final stamp that sorts
+/// against a still-provisional one in the wrong order.
+constexpr std::uint64_t kProvisionalBase = std::uint64_t{1} << 62;
+
+/// Per-thread execution state while an event callback runs. `parallel`
+/// distinguishes a shard window (virtual per-shard clock, deferred side
+/// effects) from sequential execution at a tie front / step().
+struct ExecCtx {
+  ShardedSimulator* engine = nullptr;
+  bool parallel = false;
+  /// True while a deferred post_global message replays: schedules then
+  /// default to the global lane (the message is cross-shard by nature)
+  /// instead of inheriting the poster's shard.
+  bool message = false;
+  int shard_index = -1;
+  void* shard = nullptr;  ///< the Shard being run, when parallel
+  SimTime clock = 0.0;    ///< virtual now() during a window
+  std::shared_ptr<detail::EventRecord> current;
+  std::uint64_t children = 0;  ///< child index for the current callback
+  ExecCtx* prev = nullptr;
+};
+
+thread_local ExecCtx* t_exec = nullptr;
+
+/// Installs `ctx` as the calling thread's execution context (and, for
+/// parallel contexts, the event-log capture sink) for one scope.
+class ScopedCtx {
+ public:
+  ScopedCtx(ExecCtx& ctx, obs::EventLog::ThreadSink* sink)
+      : install_sink_(sink != nullptr) {
+    ctx.prev = t_exec;
+    t_exec = &ctx;
+    if (install_sink_) prev_sink_ = obs::EventLog::set_thread_sink(sink);
+  }
+  ~ScopedCtx() {
+    if (install_sink_) obs::EventLog::set_thread_sink(prev_sink_);
+    t_exec = t_exec->prev;
+  }
+  ScopedCtx(const ScopedCtx&) = delete;
+  ScopedCtx& operator=(const ScopedCtx&) = delete;
+
+ private:
+  bool install_sink_;
+  obs::EventLog::ThreadSink* prev_sink_ = nullptr;
+};
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::shared()),
+      shards_(std::max<std::size_t>(1, shards)) {
+  PHISCHED_REQUIRE(shards >= 1, "sharded: need at least one shard");
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+std::uint64_t ShardedSimulator::key_stamp(const detail::EventRecord& r) {
+  return r.parent != nullptr ? r.parent->stamp : r.parent_stamp;
+}
+
+bool ShardedSimulator::later_key(const Rec& a, const Rec& b) {
+  if (a->time != b->time) return a->time > b->time;
+  const std::uint64_t ka = key_stamp(*a);
+  const std::uint64_t kb = key_stamp(*b);
+  if (ka != kb) return ka > kb;
+  return a->seq > b->seq;  // same parent: child index decides
+}
+
+void ShardedSimulator::skim_heap(std::vector<Rec>& heap) {
+  while (!heap.empty() && heap.front()->cancelled) {
+    std::pop_heap(heap.begin(), heap.end(), later_key);
+    heap.pop_back();
+  }
+}
+
+int ShardedSimulator::map_affinity(AffinityKey affinity) const {
+  PHISCHED_DCHECK(affinity >= 0, "sharded: negative affinity key ", affinity);
+  return static_cast<int>(static_cast<std::size_t>(affinity) %
+                          shards_.size());
+}
+
+std::vector<ShardedSimulator::Rec>& ShardedSimulator::lane(int shard) {
+  if (shard < 0) return global_;
+  return shards_[static_cast<std::size_t>(shard)].heap;
+}
+
+SimTime ShardedSimulator::now() const {
+  const ExecCtx* c = t_exec;
+  if (c != nullptr && c->engine == this && c->parallel) return c->clock;
+  return now_;
+}
+
+EventHandle ShardedSimulator::schedule_at(SimTime t, Callback fn) {
+  return schedule_keyed(t, std::move(fn), kNoAffinity);
+}
+
+EventHandle ShardedSimulator::schedule_at(SimTime t, Callback fn,
+                                          AffinityKey affinity) {
+  return schedule_keyed(t, std::move(fn), affinity);
+}
+
+EventHandle ShardedSimulator::schedule_keyed(SimTime t, Callback fn,
+                                             AffinityKey affinity) {
+  ExecCtx* c = t_exec;
+  if (c != nullptr && c->engine != this) c = nullptr;
+  const SimTime ref = c != nullptr && c->parallel ? c->clock : now_;
+  PHISCHED_REQUIRE(t >= ref, "schedule_at: cannot schedule in the past (t=",
+                   t, " now=", ref, ")");
+  PHISCHED_REQUIRE(fn != nullptr, "schedule_at: null callback (t=", t, ")");
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->time = t;
+  rec->fn = std::move(fn);
+  rec->owner = this;
+  if (c != nullptr) {
+    // Scheduled from inside an event callback: the tie-break key is
+    // (scheduling event's stamp, call index) — exactly the order the
+    // sequential engine's shared seq counter would impose.
+    rec->seq = c->children++;
+    if (c->current->stamp_final) {
+      rec->parent_stamp = c->current->stamp;
+    } else {
+      rec->parent = c->current;  // resolved when the parent is merged
+    }
+    if (c->parallel) {
+      // Shard events may only feed their own shard: anything that must
+      // cross goes through post_global().
+      PHISCHED_DCHECK(
+          affinity == kNoAffinity || map_affinity(affinity) == c->shard_index,
+          "sharded: event on shard ", c->shard_index,
+          " scheduled work with foreign affinity ", affinity);
+      rec->shard = c->shard_index;
+    } else if (affinity != kNoAffinity) {
+      rec->shard = map_affinity(affinity);
+    } else if (c->message) {
+      rec->shard = -1;  // cross-shard context: default to the global lane
+    } else {
+      rec->shard = c->current->shard;  // global stays global, shard stays put
+    }
+  } else {
+    // Top-level schedule (no event executing): takes its place in the
+    // execution order right here, like the sequential seq counter would.
+    rec->parent_stamp = ++stamp_counter_;
+    rec->seq = 0;
+    rec->shard = affinity != kNoAffinity ? map_affinity(affinity) : -1;
+  }
+  auto& heap = lane(rec->shard);
+  heap.push_back(rec);
+  std::push_heap(heap.begin(), heap.end(), later_key);
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return EventHandle(rec);
+}
+
+void ShardedSimulator::post_global(Callback fn) {
+  PHISCHED_REQUIRE(fn != nullptr, "post_global: null callback");
+  ExecCtx* c = t_exec;
+  if (c != nullptr && c->engine == this && c->parallel) {
+    auto* shard = static_cast<Shard*>(c->shard);
+    Effect effect;
+    effect.message = std::move(fn);
+    shard->effects.push_back(std::move(effect));
+    return;
+  }
+  fn();
+}
+
+void ShardedSimulator::deferred_emit(obs::EventLog& log, obs::Event event) {
+  ExecCtx* c = t_exec;
+  PHISCHED_DCHECK(c != nullptr && c->engine == this && c->parallel,
+                  "sharded: event-log sink fired outside a shard window");
+  auto* shard = static_cast<Shard*>(c->shard);
+  Effect effect;
+  effect.log = &log;
+  effect.event = std::move(event);
+  shard->effects.push_back(std::move(effect));
+}
+
+void ShardedSimulator::execute_sequential(const Rec& rec) {
+  PHISCHED_DCHECK(rec->time >= now_,
+                  "event clock went backwards: event t=", rec->time,
+                  " now=", now_);
+  rec->parent_stamp = key_stamp(*rec);
+  rec->parent.reset();
+  rec->stamp = ++stamp_counter_;
+  rec->stamp_final = true;
+  now_ = rec->time;
+  ++processed_;
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  ExecCtx ctx;
+  ctx.engine = this;
+  ctx.parallel = false;
+  ctx.current = rec;
+  const ScopedCtx scoped(ctx, nullptr);
+  auto fn = std::move(rec->fn);
+  rec->fn = nullptr;
+  fn();
+}
+
+void ShardedSimulator::run_shard_window(Shard& shard, int index,
+                                        SimTime bound) {
+  ExecCtx ctx;
+  ctx.engine = this;
+  ctx.parallel = true;
+  ctx.shard_index = index;
+  ctx.shard = &shard;
+  const ScopedCtx scoped(ctx, this);
+  // Provisional stamps: greater than every finalized stamp (their range
+  // starts at kProvisionalBase), ordered by within-shard execution
+  // position. Only this shard ever compares them; the merge finalizes
+  // each one before any cross-shard comparison can observe it.
+  std::uint64_t local = 0;
+  for (;;) {
+    skim_heap(shard.heap);
+    if (shard.heap.empty() || !(shard.heap.front()->time < bound)) break;
+    std::pop_heap(shard.heap.begin(), shard.heap.end(), later_key);
+    Rec rec = std::move(shard.heap.back());
+    shard.heap.pop_back();
+    rec->stamp = kProvisionalBase + local++;
+    ctx.clock = rec->time;
+    ctx.current = rec;
+    ctx.children = 0;
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    Executed e;
+    e.effects_begin = shard.effects.size();
+    auto fn = std::move(rec->fn);
+    rec->fn = nullptr;
+    fn();
+    e.effects_end = shard.effects.size();
+    e.children = ctx.children;
+    e.rec = std::move(rec);
+    shard.done.push_back(std::move(e));
+  }
+}
+
+std::size_t ShardedSimulator::merge_window() {
+  // K-way merge of the shards' execution logs by (time, key). Each log is
+  // already sorted, and — because a scheduling parent always executes
+  // (and therefore merges) before its children at the same time — every
+  // compared head's key resolves to a finalized stamp.
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  std::size_t merged = 0;
+  for (;;) {
+    std::size_t best = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] >= shards_[s].done.size()) continue;
+      const Rec& head = shards_[s].done[cursor[s]].rec;
+      PHISCHED_DCHECK(head->parent == nullptr || head->parent->stamp_final,
+                      "sharded merge: head's parent stamp not finalized");
+      if (best == shards_.size() ||
+          later_key(shards_[best].done[cursor[best]].rec, head)) {
+        best = s;
+      }
+    }
+    if (best == shards_.size()) break;
+    // Events scheduled by already-replayed messages may precede this
+    // record in the total order — run them first, at their exact spot.
+    merged += drain_preceding(shards_[best].done[cursor[best]].rec);
+    Executed& e = shards_[best].done[cursor[best]++];
+    detail::EventRecord& rec = *e.rec;
+    PHISCHED_DCHECK(rec.time >= now_,
+                    "sharded merge: time went backwards (t=", rec.time,
+                    " now=", now_, ")");
+    rec.parent_stamp = key_stamp(rec);
+    rec.parent.reset();
+    rec.stamp = ++stamp_counter_;
+    rec.stamp_final = true;
+    now_ = rec.time;
+    ++processed_;
+    ++merged;
+    if (e.effects_begin == e.effects_end) continue;
+    // Replay the event's side effects in intra-callback order: deferred
+    // emissions land in the log exactly where a sequential run put them,
+    // and messages run with now() at the posting event's time, continuing
+    // its child-index counter — an event a message schedules gets the
+    // same (parent stamp, child index) the sequential engine's inline
+    // execution would have assigned.
+    ExecCtx replay;
+    replay.engine = this;
+    replay.message = true;
+    replay.current = e.rec;
+    replay.children = e.children;
+    const ScopedCtx scoped(replay, nullptr);
+    for (std::size_t i = e.effects_begin; i < e.effects_end; ++i) {
+      Effect& effect = shards_[best].effects[i];
+      if (effect.log != nullptr) {
+        effect.log->append(std::move(effect.event));
+      } else {
+        effect.message();
+      }
+    }
+  }
+  for (Shard& s : shards_) {
+    s.done.clear();
+    s.effects.clear();
+  }
+  ++windows_;
+  return merged;
+}
+
+std::size_t ShardedSimulator::drain_preceding(const Rec& next) {
+  // `next` heads the merge, so its key resolves to a finalized parent
+  // stamp; pending events whose key precedes it were necessarily
+  // scheduled by replayed messages (anything older ran in the window,
+  // anything with a provisional parent sorts after every final key).
+  std::size_t n = 0;
+  for (;;) {
+    constexpr int kNone = -2;
+    int best_lane = kNone;
+    skim_heap(global_);
+    if (!global_.empty()) best_lane = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      skim_heap(shards_[s].heap);
+      if (shards_[s].heap.empty()) continue;
+      if (best_lane == kNone ||
+          later_key(lane(best_lane).front(), shards_[s].heap.front())) {
+        best_lane = static_cast<int>(s);
+      }
+    }
+    if (best_lane == kNone || !later_key(next, lane(best_lane).front())) {
+      return n;
+    }
+    auto& heap = lane(best_lane);
+    std::pop_heap(heap.begin(), heap.end(), later_key);
+    Rec rec = std::move(heap.back());
+    heap.pop_back();
+    execute_sequential(rec);
+    ++n;
+  }
+}
+
+bool ShardedSimulator::advance(SimTime clip, std::size_t& n,
+                               std::size_t max_events) {
+  // Window bound: the next global event's time caps how far any shard may
+  // run ahead (conservative synchronization); `clip` caps run_until.
+  skim_heap(global_);
+  SimTime bound = clip;
+  if (!global_.empty() && global_.front()->time < bound) {
+    bound = global_.front()->time;
+  }
+  std::vector<std::size_t> active;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    skim_heap(shards_[s].heap);
+    if (!shards_[s].heap.empty() && shards_[s].heap.front()->time < bound) {
+      active.push_back(s);
+    }
+  }
+  bool did = false;
+  if (!active.empty()) {
+    did = true;
+    pool_->parallel_for(active.size(), [&](std::size_t k) {
+      run_shard_window(shards_[active[k]], static_cast<int>(active[k]),
+                       bound);
+    });
+    n += merge_window();
+    PHISCHED_CHECK(n <= max_events, "simulation exceeded event budget (",
+                   max_events, " events; t=", now_, ")");
+  }
+  // Tie front: execute everything at the next common time sequentially,
+  // interleaving lanes in (time, key) order — this is where global and
+  // shard events at the same instant keep their exact sequential order.
+  SimTime front_time = 0.0;
+  bool have_front = false;
+  for (;;) {
+    constexpr int kNone = -2;
+    int best_lane = kNone;
+    const detail::EventRecord* best = nullptr;
+    skim_heap(global_);
+    if (!global_.empty()) {
+      best_lane = -1;
+      best = global_.front().get();
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      skim_heap(shards_[s].heap);
+      if (shards_[s].heap.empty()) continue;
+      const Rec& head = shards_[s].heap.front();
+      if (best == nullptr || later_key(lane(best_lane).front(), head)) {
+        best_lane = static_cast<int>(s);
+        best = head.get();
+      }
+    }
+    if (best == nullptr) break;
+    if (!have_front) {
+      if (best->time > clip) break;
+      front_time = best->time;
+      have_front = true;
+    } else if (best->time > front_time) {
+      break;
+    }
+    auto& heap = lane(best_lane);
+    std::pop_heap(heap.begin(), heap.end(), later_key);
+    Rec rec = std::move(heap.back());
+    heap.pop_back();
+    execute_sequential(rec);
+    did = true;
+    PHISCHED_CHECK(++n <= max_events, "simulation exceeded event budget (",
+                   max_events, " events; t=", now_, ")");
+  }
+  return did;
+}
+
+bool ShardedSimulator::step() {
+  // Single-event semantics: find the globally least (time, key) head and
+  // run it sequentially. Mixing step() with run()/run_until() is fine —
+  // everything executed so far carries a finalized stamp.
+  constexpr int kNone = -2;
+  int best_lane = kNone;
+  skim_heap(global_);
+  if (!global_.empty()) best_lane = -1;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    skim_heap(shards_[s].heap);
+    if (shards_[s].heap.empty()) continue;
+    if (best_lane == kNone ||
+        later_key(lane(best_lane).front(), shards_[s].heap.front())) {
+      best_lane = static_cast<int>(s);
+    }
+  }
+  if (best_lane == kNone) return false;
+  auto& heap = lane(best_lane);
+  std::pop_heap(heap.begin(), heap.end(), later_key);
+  Rec rec = std::move(heap.back());
+  heap.pop_back();
+  execute_sequential(rec);
+  return true;
+}
+
+std::size_t ShardedSimulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (advance(kNoClip, n, max_events)) {
+  }
+  return n;
+}
+
+std::size_t ShardedSimulator::run_until(SimTime t, std::size_t max_events) {
+  PHISCHED_REQUIRE(t >= now_, "run_until: target time in the past (t=", t,
+                   " now=", now_, ")");
+  std::size_t n = 0;
+  while (advance(t, n, max_events)) {
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace phisched

@@ -1,0 +1,144 @@
+// Sharded parallel discrete-event engine, bit-identical to sim::Simulator.
+//
+// The cluster model decomposes naturally: node-local event chains (device
+// compute, COSMIC queues, PCIe links and switches, running jobs) never
+// touch another node's state, while the cross-cutting machinery (the
+// negotiator cycle, dynamic arrivals, the utilization sampler) reads many
+// nodes at once but only fires at discrete global times. ShardedSimulator
+// exploits exactly that shape conservatively:
+//
+//   * Every event lives on a lane: shard 0..N-1 (chosen by the affinity
+//     key, inherited from the scheduling event) or the global lane.
+//   * A *window* runs each shard's events with time strictly below the
+//     next global event's time, one thread-pool task per active shard.
+//   * A single-threaded *merge* then replays the windows' side effects —
+//     deferred obs::EventLog emissions and post_global() messages — in
+//     the exact order the sequential engine would have produced them.
+//     A message runs with its poster's context, so events it schedules
+//     take the poster's next child positions in the total order; if such
+//     an event precedes window records still being merged, the merge
+//     executes it inline at exactly that position (drain_preceding).
+//   * The *tie front* executes every event at the next common time
+//     (global events and any shard events tied with them) sequentially,
+//     in that same order. Negotiation-cycle boundaries and PCIe-switch
+//     reconcile points are ordinary global/shard events, so they
+//     synchronize here without any special casing.
+//
+// Determinism is carried by a total order reproducing the sequential
+// engine's (time, seq) heap order without a shared counter. The n-th
+// schedule call made by an executing event gets child index n, and every
+// executed event gets a monotone "stamp" in merged execution order; the
+// tie-break key is then (parent's stamp, child index). Sequential seq
+// values are assigned in exactly (parent execution order, call index)
+// order, so comparing keys lexicographically equals comparing seqs.
+// Stamps of events executed inside a still-open window are provisional
+// (always greater than every finalized stamp, ordered by within-shard
+// execution position); they are only ever compared within their own
+// shard and are finalized — and the merge applies their effects — before
+// any cross-shard comparison can see them.
+//
+// The engine never reorders observable work: for every driving call and
+// every config, metrics, event logs, RNG draws and results are
+// bit-identical to sim::Simulator. tests/sim/test_sharded_equivalence.cpp
+// and test_sharded_merge_property.cpp pin this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched {
+
+class ThreadPool;
+
+class ShardedSimulator final : public Simulator,
+                               private obs::EventLog::ThreadSink {
+ public:
+  /// `shards` >= 1 partitions; affinity key k maps to shard k % shards.
+  /// `pool` defaults to ThreadPool::shared().
+  explicit ShardedSimulator(std::size_t shards, ThreadPool* pool = nullptr);
+  ~ShardedSimulator() override;
+
+  [[nodiscard]] SimTime now() const override;
+  EventHandle schedule_at(SimTime t, Callback fn) override;
+  EventHandle schedule_at(SimTime t, Callback fn,
+                          AffinityKey affinity) override;
+  void post_global(Callback fn) override;
+  bool step() override;
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents) override;
+  std::size_t run_until(SimTime t,
+                        std::size_t max_events = kDefaultMaxEvents) override;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Parallel windows merged so far (scaling diagnostics; not part of
+  /// the deterministic output).
+  [[nodiscard]] std::uint64_t windows_merged() const { return windows_; }
+
+ private:
+  using Rec = std::shared_ptr<detail::EventRecord>;
+
+  /// One side effect captured while a shard event ran in a window, in
+  /// intra-callback order: either an event-log emission or a
+  /// post_global() message.
+  struct Effect {
+    obs::EventLog* log = nullptr;  ///< set: deferred emission into *log
+    obs::Event event;
+    Callback message;  ///< set: deferred cross-shard message
+  };
+
+  /// One event a shard executed this window, plus its effects slice and
+  /// the child-index counter where its callback left off (deferred
+  /// messages continue it, so their schedule calls get the same child
+  /// positions the sequential engine's inline execution hands out).
+  struct Executed {
+    Rec rec;
+    std::size_t effects_begin = 0;
+    std::size_t effects_end = 0;
+    std::uint64_t children = 0;
+  };
+
+  struct Shard {
+    std::vector<Rec> heap;       ///< pending, min-heap by (time, key)
+    std::vector<Executed> done;  ///< window-local execution log
+    std::vector<Effect> effects; ///< window-local side-effect arena
+  };
+
+  struct ExecContext;
+
+  // Total order reproducing the sequential (time, seq) heap order.
+  static std::uint64_t key_stamp(const detail::EventRecord& r);
+  static bool later_key(const Rec& a, const Rec& b);
+  static void skim_heap(std::vector<Rec>& heap);
+
+  [[nodiscard]] int map_affinity(AffinityKey affinity) const;
+  [[nodiscard]] std::vector<Rec>& lane(int shard);
+  EventHandle schedule_keyed(SimTime t, Callback fn, AffinityKey affinity);
+
+  /// Runs one parallel window bounded by min(next global time, clip),
+  /// merges it, then executes the tie front at the next common time if it
+  /// is <= clip. Returns false once nothing at time <= clip remains.
+  bool advance(SimTime clip, std::size_t& n, std::size_t max_events);
+  void run_shard_window(Shard& shard, int index, SimTime bound);
+  std::size_t merge_window();
+  /// Executes pending events whose (time, key) precedes `next` — events a
+  /// replayed message scheduled "into" the still-merging window — so they
+  /// land at their exact sequential position. Returns the count executed.
+  std::size_t drain_preceding(const Rec& next);
+  void execute_sequential(const Rec& rec);
+
+  // obs::EventLog::ThreadSink — captures worker-thread emissions.
+  void deferred_emit(obs::EventLog& log, obs::Event event) override;
+
+  ThreadPool* pool_;
+  std::vector<Shard> shards_;
+  std::vector<Rec> global_;  ///< the global lane's pending heap
+  /// Last finalized execution stamp; provisional stamps in an open
+  /// window start at stamp_counter_ + 1 (see run_shard_window).
+  std::uint64_t stamp_counter_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace phisched

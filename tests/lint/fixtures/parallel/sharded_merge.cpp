@@ -1,0 +1,38 @@
+// Lint fixture: unordered-iter via the sharded* filename scope. This file
+// is lint fodder for tests/lint_fixtures.cmake — it is never compiled. It
+// lives OUTSIDE every decision-path directory on purpose: the filename
+// prefix alone must pull it into scope, pinning the rule that parallel
+// merge code stays linted wherever it moves. Line numbers are asserted by
+// the test; append below the suppressed block only.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct PendingEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+};
+
+struct ShardMerger {
+  std::unordered_map<int, std::vector<PendingEvent>> per_shard_;
+
+  // The classic merge hazard: visiting shard queues in hash order decides
+  // which tied event wins, so the merged order varies run to run.
+  std::vector<PendingEvent> merge() const {
+    std::vector<PendingEvent> out;
+    for (const auto& [shard, queue] : per_shard_) {  // line 23: violation
+      out.insert(out.end(), queue.begin(), queue.end());
+    }
+    return out;
+  }
+
+  std::size_t total_pending() const {
+    std::size_t n = 0;
+    // Count-only fold: no ordering can leak into the result.
+    // phisched-lint: allow(unordered-iter)
+    for (const auto& [shard, queue] : per_shard_) {  // line 32: suppressed
+      n += queue.size();
+    }
+    return n;
+  }
+};

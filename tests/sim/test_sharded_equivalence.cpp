@@ -1,0 +1,277 @@
+// Sharded-engine equivalence battery: for every StackConfig, seed and
+// shard count, a cluster run on sim::ShardedSimulator must be
+// bit-identical to the sequential engine — every ExperimentResult field
+// compared with exact EXPECT_EQ on doubles, and telemetry (metrics +
+// event log) with operator==. This is the contract that makes
+// --parallel-shards safe to use anywhere: the knob trades nothing but
+// wall-clock. Mirrors the pattern of tests/cluster/test_harness.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "cluster/harness.hpp"
+#include "obs/recorder.hpp"
+#include "sim/sharded.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+[[nodiscard]] ExperimentConfig small_cluster(StackConfig stack,
+                                             std::uint64_t seed) {
+  ExperimentConfig config;
+  config.node_count = 4;  // spread across shard counts 2 and 4
+  config.stack = stack;
+  config.seed = seed;
+  config.telemetry = true;
+  config.sample_interval = 10.0;
+  return config;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.avg_core_utilization, b.avg_core_utilization);
+  EXPECT_EQ(a.per_device_utilization, b.per_device_utilization);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_failed, b.jobs_failed);
+  EXPECT_EQ(a.job_retries, b.job_retries);
+  EXPECT_EQ(a.device_energy_mj, b.device_energy_mj);
+  EXPECT_EQ(a.negotiation_cycles, b.negotiation_cycles);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.offloads_started, b.offloads_started);
+  EXPECT_EQ(a.offloads_queued, b.offloads_queued);
+  EXPECT_EQ(a.oom_kills, b.oom_kills);
+  EXPECT_EQ(a.container_kills, b.container_kills);
+  EXPECT_EQ(a.addon_pins, b.addon_pins);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.mean_turnaround, b.mean_turnaround);
+  EXPECT_EQ(a.turnaround.count(), b.turnaround.count());
+  EXPECT_EQ(a.turnaround.mean(), b.turnaround.mean());
+  EXPECT_EQ(a.wait_time.count(), b.wait_time.count());
+  EXPECT_EQ(a.wait_time.mean(), b.wait_time.mean());
+  EXPECT_EQ(a.utilization_series, b.utilization_series);
+  ASSERT_EQ(a.telemetry != nullptr, b.telemetry != nullptr);
+  if (a.telemetry != nullptr) {
+    EXPECT_TRUE(*a.telemetry == *b.telemetry)
+        << "telemetry snapshots diverged";
+  }
+}
+
+/// Shard counts the battery sweeps: the fixed {1, 2, 4, 8} ladder plus
+/// whatever this machine's hardware concurrency is.
+[[nodiscard]] std::set<std::size_t> shard_ladder() {
+  std::set<std::size_t> counts{1, 2, 4, 8};
+  counts.insert(std::max(1u, std::thread::hardware_concurrency()));
+  return counts;
+}
+
+using StackSeed = std::tuple<StackConfig, std::uint64_t>;
+
+[[nodiscard]] std::string stack_seed_name(
+    const ::testing::TestParamInfo<StackSeed>& param) {
+  std::string name;
+  switch (std::get<0>(param.param)) {
+    case StackConfig::kMC: name = "MC"; break;
+    case StackConfig::kMCC: name = "MCC"; break;
+    case StackConfig::kMCCK: name = "MCCK"; break;
+    case StackConfig::kMCCFirstFit: name = "MCCFirstFit"; break;
+    case StackConfig::kMCCBestFit: name = "MCCBestFit"; break;
+    case StackConfig::kMCCOracle: name = "MCCOracle"; break;
+  }
+  return name + "_seed" + std::to_string(std::get<1>(param.param));
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<StackSeed> {};
+
+TEST_P(ShardedEquivalence, EveryShardCountMatchesSequentialBitIdentically) {
+  const auto [stack, seed] = GetParam();
+  ExperimentConfig config = small_cluster(stack, seed);
+  const auto jobs = workload::make_real_jobset(30, Rng(seed).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+
+  for (const std::size_t shards : shard_ladder()) {
+    SCOPED_TRACE("parallel_shards=" + std::to_string(shards));
+    config.parallel_shards = shards;
+    expect_identical(sequential, run_experiment(config, jobs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStacksThreeSeeds, ShardedEquivalence,
+    ::testing::Combine(
+        ::testing::Values(StackConfig::kMC, StackConfig::kMCC,
+                          StackConfig::kMCCK, StackConfig::kMCCFirstFit,
+                          StackConfig::kMCCBestFit, StackConfig::kMCCOracle),
+        ::testing::Values(11u, 42u, 1234u)),
+    stack_seed_name);
+
+TEST(ShardedEngine, HarnessSelectsShardedEngineAndPartitionsNodes) {
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 42);
+  config.parallel_shards = 4;
+  Harness harness(config);
+  auto* engine = dynamic_cast<ShardedSimulator*>(&harness.simulator());
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->shard_count(), 4u);
+
+  config.parallel_shards = 1;
+  Harness sequential(config);
+  EXPECT_EQ(dynamic_cast<ShardedSimulator*>(&sequential.simulator()), nullptr);
+}
+
+TEST(ShardedEngine, PcieContentionRunsAreBitIdentical) {
+  // The per-device PCIe link model adds dense node-local event chains
+  // (transfer completions, fair-share reshuffles) — exactly the traffic
+  // that runs inside shard windows.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 21);
+  config.pcie.contention = true;
+  config.pcie.latency_s = 1e-4;
+  const auto jobs = workload::make_real_jobset(30, Rng(21).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+  for (const std::size_t shards : shard_ladder()) {
+    SCOPED_TRACE("parallel_shards=" + std::to_string(shards));
+    config.parallel_shards = shards;
+    expect_identical(sequential, run_experiment(config, jobs));
+  }
+}
+
+TEST(ShardedEngine, PcieSwitchRunsAreBitIdentical) {
+  // Hierarchical contention: the host-side switch reconciles all of a
+  // node's card links — a shard-internal synchronization point that must
+  // survive the window/merge cycle untouched.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 23);
+  config.node_hw.phi_devices = 2;
+  config.pcie.contention = true;
+  config.pcie.latency_s = 1e-4;
+  config.pcie_switch.enabled = true;
+  config.pcie_switch.bandwidth_mib_s = config.pcie.bandwidth_mib_s * 1.5;
+  const auto jobs = workload::make_real_jobset(30, Rng(23).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+  for (const std::size_t shards : shard_ladder()) {
+    SCOPED_TRACE("parallel_shards=" + std::to_string(shards));
+    config.parallel_shards = shards;
+    expect_identical(sequential, run_experiment(config, jobs));
+  }
+}
+
+TEST(ShardedEngine, DynamicArrivalsAreBitIdentical) {
+  // Open-loop arrivals are global-lane events interleaved with node work;
+  // the windows must clip at each arrival exactly.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 7);
+  auto jobs = workload::make_real_jobset(25, Rng(7).child("jobs"));
+  Rng arrivals = Rng(7).child("arrivals");
+  SimTime t = 0.0;
+  for (auto& job : jobs) {
+    t += arrivals.exponential(1.0);
+    job.submit_time = t;
+  }
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("parallel_shards=" + std::to_string(shards));
+    config.parallel_shards = shards;
+    expect_identical(sequential, run_experiment(config, jobs));
+  }
+}
+
+TEST(ShardedEngine, MidRunSnapshotsAtBarriersDoNotPerturb) {
+  // Harness::snapshot() under the sharded engine: every driving call
+  // returns at a merged barrier, so a snapshot observes a state the
+  // sequential engine also passes through — and must not perturb the
+  // remainder of the run (the satellite fix this PR pins).
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 31);
+  const auto jobs = workload::make_real_jobset(30, Rng(31).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+
+  config.parallel_shards = 4;
+  Harness harness(config);
+  harness.submit(jobs);
+  std::size_t slices = 0;
+  while (!harness.complete()) {
+    harness.run_for(50.0);
+    const ExperimentResult mid = harness.snapshot();
+    EXPECT_LE(mid.jobs_completed + mid.jobs_failed, jobs.size());
+    ASSERT_LT(++slices, 10000u) << "harness failed to make progress";
+  }
+  expect_identical(sequential, harness.run_to_completion());
+}
+
+TEST(ShardedEngine, MidRunSnapshotMatchesSequentialSnapshotAtSameTime) {
+  // Stronger than non-perturbation: the snapshot CONTENT at a barrier
+  // time must equal a sequential harness's snapshot at that same time.
+  ExperimentConfig config = small_cluster(StackConfig::kMCC, 17);
+  const auto jobs = workload::make_real_jobset(25, Rng(17).child("jobs"));
+
+  Harness sequential(config);
+  sequential.submit(jobs);
+  config.parallel_shards = 4;
+  Harness sharded(config);
+  sharded.submit(jobs);
+
+  for (SimTime t = 100.0; t <= 400.0; t += 100.0) {
+    sequential.run_until(t);
+    sharded.run_until(t);
+    SCOPED_TRACE("t=" + std::to_string(t));
+    expect_identical(sequential.snapshot(), sharded.snapshot());
+  }
+  expect_identical(sequential.run_to_completion(),
+                   sharded.run_to_completion());
+}
+
+TEST(ShardedEngine, StepDrivenShardedRunIsBitIdentical) {
+  // step() on the sharded engine executes one event sequentially; a
+  // whole run driven that way — and mixed step()/run_until() driving —
+  // still matches the one-shot sequential result.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 42);
+  const auto jobs = workload::make_real_jobset(20, Rng(42).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+
+  config.parallel_shards = 4;
+  Harness stepped(config);
+  stepped.submit(jobs);
+  // Alternate: a burst of single steps, then a parallel slice.
+  while (!stepped.complete()) {
+    for (int i = 0; i < 25 && stepped.step(); ++i) {
+    }
+    if (!stepped.complete()) stepped.run_for(40.0);
+  }
+  expect_identical(sequential, stepped.run_to_completion());
+}
+
+TEST(ShardedEngine, JsonExportsAreByteIdentical) {
+  // Beyond operator==: the serialized telemetry (metric and sim-time
+  // ordered event exports) must be byte-for-byte the same, which is what
+  // golden-file workflows diff.
+  ExperimentConfig config = small_cluster(StackConfig::kMCCK, 5);
+  config.max_retries = 1;  // exercise kill/requeue events in the log
+  const auto jobs = workload::make_real_jobset(30, Rng(5).child("jobs"));
+
+  const ExperimentResult sequential = run_experiment(config, jobs);
+  config.parallel_shards = 8;
+  const ExperimentResult sharded = run_experiment(config, jobs);
+
+  ASSERT_NE(sequential.telemetry, nullptr);
+  ASSERT_NE(sharded.telemetry, nullptr);
+  EXPECT_EQ(obs::snapshot_json(*sequential.telemetry),
+            obs::snapshot_json(*sharded.telemetry));
+}
+
+TEST(ShardedEngine, MoreShardsThanNodesIsValid) {
+  // Degenerate partitions (empty shards) must be harmless.
+  ExperimentConfig config = small_cluster(StackConfig::kMCC, 3);
+  config.node_count = 2;
+  const auto jobs = workload::make_real_jobset(15, Rng(3).child("jobs"));
+  const ExperimentResult sequential = run_experiment(config, jobs);
+  config.parallel_shards = 16;
+  expect_identical(sequential, run_experiment(config, jobs));
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -1,0 +1,252 @@
+// Property test for the sharded engine's barrier merge, at the raw
+// sim:: level (no cluster stack). Randomized scenarios throw everything
+// the merge's total order must survive at it: events tied at the same
+// time across shards and the global lane, deep child chains (the n-th
+// schedule call of an executing event), zero-delay children, explicit
+// affinities, cancellations via EventHandle::cancel() fired from worker
+// threads, post_global() messages that schedule further events from the
+// merge context, and deferred obs::EventLog emissions. For every
+// scenario and shard count, the observable execution order — recorded
+// through post_global, which the merge replays in its deterministic
+// order — and the event log must equal the sequential Simulator's.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/events.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched {
+namespace {
+
+// Delay grid with duplicates so sibling and cross-shard ties are common.
+constexpr double kDelays[] = {0.0, 0.5, 0.5, 1.0, 1.0, 1.5, 2.5};
+constexpr int kMaxDepth = 3;
+
+[[nodiscard]] std::string format_time(SimTime t) {
+  std::ostringstream out;
+  out << t;
+  return out.str();
+}
+
+/// One randomized scenario bound to an engine. Behaviour is a pure
+/// function of (scenario seed, event label), so running the same seed on
+/// the sequential and sharded engines replays the identical event tree.
+struct Scenario {
+  explicit Scenario(Simulator& s, std::uint64_t scenario_seed)
+      : sim(s), seed(scenario_seed) {}
+
+  Simulator& sim;
+  std::uint64_t seed;
+  obs::EventLog log;
+  std::vector<std::string> order;
+
+  [[nodiscard]] Simulator::Callback fn(std::string label, int depth) {
+    return [this, label = std::move(label), depth] { fire(label, depth); };
+  }
+
+  void record(const std::string& label) {
+    const SimTime t = sim.now();
+    // post_global is the order oracle: the sharded engine replays these
+    // messages in exactly the order the sequential engine runs them.
+    sim.post_global(
+        [this, label, t] { order.push_back(label + "@" + format_time(t)); });
+  }
+
+  void fire(const std::string& label, int depth) {
+    Rng r = Rng(seed).child(label);
+    record(label);
+    log.emit(sim.now(), "fire", {{"label", label}});
+    if (depth >= kMaxDepth) return;
+
+    const int kids = static_cast<int>(r.uniform_int(0, 3));
+    for (int i = 0; i < kids; ++i) {
+      const double delay = kDelays[r.index(std::size(kDelays))];
+      sim.schedule_in(delay, fn(label + "." + std::to_string(i), depth + 1));
+    }
+    if (r.bernoulli(0.35)) {
+      // Victim/killer pair in this event's own lane: whether the victim
+      // dies is decided purely by the (time, key) order, and the cancel
+      // itself runs on whatever worker thread executes the killer.
+      const double dv = kDelays[r.index(std::size(kDelays))];
+      const double dk = kDelays[r.index(std::size(kDelays))];
+      EventHandle victim = sim.schedule_in(dv, fn(label + ".v", depth + 1));
+      sim.schedule_in(dk, [this, victim, label]() mutable {
+        victim.cancel();
+        record(label + ".k");
+      });
+    }
+    if (r.bernoulli(0.25)) {
+      // A cross-shard message that schedules from the merge context: the
+      // new event must slot in exactly where a sequential run puts it.
+      const double dg = kDelays[r.index(std::size(kDelays))];
+      sim.post_global([this, label, dg] {
+        sim.schedule_in(dg, fn(label + ".g", kMaxDepth));
+      });
+    }
+  }
+
+  /// Schedules the scenario's root events (external context), some with
+  /// explicit affinities, some cancelled again before anything runs.
+  void seed_roots() {
+    Rng r = Rng(seed).child("roots");
+    std::vector<EventHandle> handles;
+    const int roots = static_cast<int>(r.uniform_int(12, 20));
+    for (int i = 0; i < roots; ++i) {
+      const double t = kDelays[r.index(std::size(kDelays))] +
+                       kDelays[r.index(std::size(kDelays))];
+      const auto affinity =
+          static_cast<Simulator::AffinityKey>(r.uniform_int(-1, 7));
+      const std::string label = "r" + std::to_string(i);
+      if (affinity == Simulator::kNoAffinity) {
+        handles.push_back(sim.schedule_at(t, fn(label, 0)));
+      } else {
+        handles.push_back(sim.schedule_at(t, fn(label, 0), affinity));
+      }
+    }
+    for (auto& handle : handles) {
+      if (r.bernoulli(0.15)) handle.cancel();
+    }
+  }
+};
+
+/// EXPECT_EQ on string vectors, reporting the first mismatching index
+/// with context (gtest truncates large vector dumps).
+void expect_same_order(const std::vector<std::string>& expected,
+                       const std::vector<std::string>& got) {
+  const std::size_t n = std::min(expected.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (expected[i] != got[i]) {
+      std::ostringstream ctx;
+      for (std::size_t j = i > 4 ? i - 4 : 0; j < std::min(n, i + 8); ++j) {
+        ctx << "\n  [" << j << "] expected " << expected[j] << "  got "
+            << got[j];
+      }
+      ADD_FAILURE() << "first divergence at index " << i << ":" << ctx.str();
+      return;
+    }
+  }
+  EXPECT_EQ(expected.size(), got.size())
+      << "orders agree on common prefix of " << n;
+}
+
+struct Observed {
+  std::vector<std::string> order;
+  std::vector<obs::Event> events;
+  std::uint64_t processed = 0;
+  SimTime end_time = 0.0;
+};
+
+[[nodiscard]] Observed run_scenario(Simulator& sim, std::uint64_t seed,
+                                    SimTime slice = 0.0) {
+  Scenario scenario(sim, seed);
+  scenario.seed_roots();
+  if (slice > 0.0) {
+    // Clip the run at arbitrary points: windows must cut exactly at t.
+    SimTime t = 0.0;
+    while (!sim.idle()) sim.run_until(t += slice);
+  } else {
+    sim.run();
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  return {std::move(scenario.order), scenario.log.events(),
+          sim.events_processed(), sim.now()};
+}
+
+class ShardedMergeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedMergeProperty, MergedOrderEqualsSequentialOrder) {
+  const std::uint64_t seed = GetParam();
+  Simulator sequential;
+  const Observed expected = run_scenario(sequential, seed);
+  ASSERT_FALSE(expected.order.empty());
+
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedSimulator sim(shards);
+    const Observed got = run_scenario(sim, seed);
+    expect_same_order(expected.order, got.order);
+    EXPECT_EQ(expected.events, got.events);
+    EXPECT_EQ(expected.processed, got.processed);
+    EXPECT_EQ(expected.end_time, got.end_time);
+  }
+}
+
+TEST_P(ShardedMergeProperty, SlicedDrivingEqualsSequentialOrder) {
+  const std::uint64_t seed = GetParam();
+  Simulator sequential;
+  const Observed expected = run_scenario(sequential, seed);
+
+  for (const double slice : {0.3, 0.7}) {
+    SCOPED_TRACE("slice=" + std::to_string(slice));
+    ShardedSimulator sim(4);
+    const Observed got = run_scenario(sim, seed, slice);
+    expect_same_order(expected.order, got.order);
+    EXPECT_EQ(expected.events, got.events);
+    EXPECT_EQ(expected.processed, got.processed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentyScenarios, ShardedMergeProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{21}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ShardedMergeEdge, StepInterleavedWithRunMatchesSequential) {
+  Simulator sequential;
+  const Observed expected = run_scenario(sequential, 404);
+
+  ShardedSimulator sim(4);
+  Scenario scenario(sim, 404);
+  scenario.seed_roots();
+  // Alternate single-stepping with parallel windows.
+  while (!sim.idle()) {
+    for (int i = 0; i < 7 && sim.step(); ++i) {
+    }
+    if (!sim.idle()) sim.run_until(sim.now() + 0.9);
+  }
+  EXPECT_EQ(expected.order, scenario.order);
+  EXPECT_EQ(expected.events, scenario.log.events());
+}
+
+TEST(ShardedMergeEdge, ZeroDelaySelfChainsTerminateAndMatch) {
+  // A chain of zero-delay children tied at one instant, in every lane.
+  auto run = [](Simulator& sim) {
+    std::vector<std::string> order;
+    std::vector<std::unique_ptr<std::function<void(int)>>> chains;
+    for (int lane = -1; lane < 4; ++lane) {
+      chains.push_back(std::make_unique<std::function<void(int)>>());
+      std::function<void(int)>* chain = chains.back().get();
+      *chain = [&sim, &order, chain, lane](int depth) {
+        sim.post_global([&order, lane, depth] {
+          order.push_back(std::to_string(lane) + ":" + std::to_string(depth));
+        });
+        if (depth < 5) {
+          sim.schedule_in(0.0, [chain, depth] { (*chain)(depth + 1); });
+        }
+      };
+      if (lane < 0) {
+        sim.schedule_at(1.0, [chain] { (*chain)(0); });
+      } else {
+        sim.schedule_at(1.0, [chain] { (*chain)(0); }, lane);
+      }
+    }
+    sim.run();
+    return order;
+  };
+  Simulator sequential;
+  ShardedSimulator sharded(4);
+  EXPECT_EQ(run(sequential), run(sharded));
+}
+
+}  // namespace
+}  // namespace phisched

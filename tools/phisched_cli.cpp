@@ -61,6 +61,10 @@ options:
   --pcie-switch-bandwidth R  switch uplink bandwidth in MiB/s (default
                         12288 = 2 cards' worth; only meaningful with
                         --pcie-switch)
+  --parallel-shards N   run each experiment on the sharded parallel event
+                        engine with N shards (nodes are partitioned
+                        node_id mod N); results are bit-identical to the
+                        sequential engine for every N (default 0 = off)
   --save-jobs PATH      write the generated job set to PATH and exit
   --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
   --help                this text
@@ -127,7 +131,7 @@ int main(int argc, char** argv) {
          "arrival-rate", "negotiation-interval", "overcommit", "series",
          "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
          "metrics-filter", "pcie-contention", "pcie-bandwidth",
-         "pcie-switch", "pcie-switch-bandwidth", "help"});
+         "pcie-switch", "pcie-switch-bandwidth", "parallel-shards", "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());
@@ -181,6 +185,8 @@ int main(int argc, char** argv) {
     if (config.pcie_switch.enabled) config.pcie.contention = true;
     config.pcie_switch.bandwidth_mib_s = args.get_real_or(
         "pcie-switch-bandwidth", config.pcie_switch.bandwidth_mib_s);
+    config.parallel_shards =
+        static_cast<std::size_t>(args.get_int_or("parallel-shards", 0));
 
     const auto metrics_path = args.get("metrics-out");
     const auto events_path = args.get("events-out");

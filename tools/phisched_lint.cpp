@@ -13,7 +13,8 @@
 //
 // Rules (see docs/static-analysis.md for the rationale):
 //   unordered-iter     iteration over std::unordered_{map,set,...} in a
-//                      decision path (sim/ phi/ cosmic/ condor/ cluster/)
+//                      decision path (sim/ phi/ cosmic/ condor/ cluster/,
+//                      or any file named sharded*)
 //   wall-clock         wall-clock / global-PRNG calls (rand, time, clock,
 //                      random_device, system_clock, ...) outside common/rng
 //   pointer-key        std::map / std::set keyed by a raw pointer
@@ -192,8 +193,14 @@ struct FileText {
 
 /// Directories whose contents count as "decision paths": code here feeds
 /// scheduling and event-ordering decisions, so iteration-order hazards are
-/// correctness bugs, not style.
+/// correctness bugs, not style. Files named sharded* qualify wherever they
+/// live — the parallel engine's merge is the single most order-sensitive
+/// code in the tree (its whole contract is reproducing the sequential
+/// total order), so moving such a file out of sim/ must not drop it from
+/// the lint's scope.
 bool path_is_decision(const fs::path& p) {
+  const std::string stem = p.filename().string();
+  if (stem.rfind("sharded", 0) == 0) return true;
   for (const auto& part : p) {
     const std::string s = part.string();
     if (s == "sim" || s == "phi" || s == "cosmic" || s == "condor" ||
