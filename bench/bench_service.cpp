@@ -1,0 +1,115 @@
+// bench_service: open-loop overload sweep for the service mode.
+//
+// Sweeps the Poisson arrival rate across multiples of the cluster's
+// measured service capacity and reports, per load point, the steady
+// SLA picture: p99/p50 wait, rejection fraction, completed throughput,
+// and final queue depth. Under admission control the overloaded points
+// shed load instead of diverging — the sweep makes the knee visible.
+//
+//   bench_service
+//   bench_service --json [PATH] [--seeds N] [--seed-base N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "cluster/service.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace phisched;
+
+/// Arrival-rate multipliers swept against the capacity estimate:
+/// comfortably under, near saturation, and past it.
+constexpr double kLoadFactors[] = {0.5, 0.8, 1.0, 1.2, 1.5, 2.0};
+
+/// Jobs/s one cluster sustains on the Table I mix: mean serial job
+/// duration is ~28.5 s (templates.hpp calibration) against
+/// node_count devices running jobs concurrently under sharing.
+double capacity_jobs_per_s(std::size_t node_count) {
+  return static_cast<double>(node_count) / 28.5;
+}
+
+cluster::ServiceConfig service_config(std::size_t node_count, double rate,
+                                      SimTime horizon, std::uint64_t seed) {
+  cluster::ServiceConfig config;
+  config.cluster.node_count = node_count;
+  config.cluster.seed = seed;
+  config.arrivals.kind = workload::ArrivalKind::kPoisson;
+  config.arrivals.rate = rate;
+  config.horizon_s = horizon;
+  config.window_s = horizon / 10.0;
+  // Bound the queue so overload sheds instead of diverging; the bound is
+  // generous enough that the under-capacity points never hit it.
+  config.admission.max_queue_depth = 4 * node_count;
+  return config;
+}
+
+std::map<std::string, double> run_sweep(std::size_t node_count,
+                                        SimTime horizon, std::uint64_t seed) {
+  std::map<std::string, double> metrics;
+  const double capacity = capacity_jobs_per_s(node_count);
+  for (const double factor : kLoadFactors) {
+    cluster::Service service(
+        service_config(node_count, factor * capacity, horizon, seed));
+    const cluster::ServiceResult r = service.run();
+
+    const std::string tag = "load" + AsciiTable::cell(factor, 1);
+    const auto& last = r.windows.back().metrics;
+    const auto get = [&last](const char* key) {
+      const auto it = last.find(key);
+      return it == last.end() ? 0.0 : it->second;
+    };
+    metrics[tag + ".p50_wait_s"] = get("cum_p50_wait_s");
+    metrics[tag + ".p99_wait_s"] = get("cum_p99_wait_s");
+    metrics[tag + ".rejected_frac"] =
+        r.jobs_generated > 0
+            ? static_cast<double>(r.admission.rejected_total()) /
+                  static_cast<double>(r.jobs_generated)
+            : 0.0;
+    metrics[tag + ".completed"] =
+        static_cast<double>(r.cluster.jobs_completed);
+    metrics[tag + ".queue_depth"] = get("queue_depth");
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::size_t nodes = 8;
+  constexpr SimTime horizon = 1200.0;
+  constexpr std::uint64_t seed = 42;
+
+  if (bench::run_json_mode(argc, argv, "service", [](std::uint64_t s) {
+        return run_sweep(nodes, horizon, s);
+      })) {
+    return 0;
+  }
+
+  const std::map<std::string, double> metrics =
+      run_sweep(nodes, horizon, seed);
+  const double capacity = capacity_jobs_per_s(nodes);
+  std::printf("service overload sweep: %zu nodes, horizon %.0f s, "
+              "capacity ~%.2f jobs/s (seed %llu)\n\n",
+              nodes, horizon, capacity,
+              static_cast<unsigned long long>(seed));
+  AsciiTable table({"Load", "Rate (jobs/s)", "p50 wait (s)", "p99 wait (s)",
+                    "Rejected", "Completed", "Queue"});
+  for (const double factor : kLoadFactors) {
+    const std::string tag = "load" + AsciiTable::cell(factor, 1);
+    const auto get = [&metrics, &tag](const char* key) {
+      return metrics.at(tag + "." + key);
+    };
+    table.add_row({AsciiTable::cell(factor, 1),
+                   AsciiTable::cell(factor * capacity, 2),
+                   AsciiTable::cell(get("p50_wait_s"), 2),
+                   AsciiTable::cell(get("p99_wait_s"), 2),
+                   AsciiTable::percent(get("rejected_frac"), 1),
+                   AsciiTable::cell(get("completed"), 0),
+                   AsciiTable::cell(get("queue_depth"), 0)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "cluster/admission.hpp"
+
+#include "common/error.hpp"
+
+namespace phisched::cluster {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  PHISCHED_REQUIRE(config_.max_occupancy >= 0.0,
+                   "admission: max_occupancy must be >= 0");
+  PHISCHED_REQUIRE(config_.defer_delay_s >= 0.0,
+                   "admission: defer_delay_s must be >= 0");
+  PHISCHED_REQUIRE(config_.max_defers >= 0,
+                   "admission: max_defers must be >= 0");
+}
+
+AdmissionDecision AdmissionController::decide(const workload::JobSpec& job,
+                                              const AdmissionState& state,
+                                              int defers_so_far) {
+  stats_.offered += 1;
+
+  const bool queue_full = config_.max_queue_depth > 0 &&
+                          state.queue_depth >= config_.max_queue_depth;
+  const double declared = static_cast<double>(job.threads_req) *
+                          static_cast<double>(job.devices_req);
+  const bool occupancy_full =
+      config_.max_occupancy > 0.0 &&
+      (state.occupied_threads + declared) / state.thread_capacity >
+          config_.max_occupancy;
+
+  if (!queue_full && !occupancy_full) {
+    stats_.admitted += 1;
+    return AdmissionDecision::kAdmit;
+  }
+  if (config_.defer_delay_s > 0.0 && defers_so_far < config_.max_defers) {
+    stats_.deferred += 1;
+    return AdmissionDecision::kDefer;
+  }
+  if (config_.defer_delay_s > 0.0) {
+    // The defer budget ran out: the job is shed after giving the
+    // cluster max_defers chances to absorb it.
+    stats_.dropped += 1;
+  } else if (queue_full) {
+    stats_.rejected_queue += 1;
+  } else {
+    stats_.rejected_occupancy += 1;
+  }
+  return AdmissionDecision::kReject;
+}
+
+}  // namespace phisched::cluster

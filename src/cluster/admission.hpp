@@ -1,0 +1,80 @@
+// Admission control / backpressure for the open-loop service mode.
+//
+// Under sustained overload an unbounded pending queue grows without
+// limit and every SLA percentile diverges; real schedulers bound the
+// queue and shed or defer load instead (cf. the CASE/BEMPS occupancy
+// threshold — admit only while (active + new) / capacity stays under a
+// configured fraction). The controller makes a pure, deterministic
+// decision from the observed cluster state; the Service owns the state
+// and enacts the decision (submit, re-try later, or drop).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "workload/jobspec.hpp"
+
+namespace phisched::cluster {
+
+struct AdmissionConfig {
+  /// Maximum schedd pending-queue depth; arrivals beyond it are deferred
+  /// or rejected. 0 = unbounded (no queue-depth gate).
+  std::size_t max_queue_depth = 0;
+  /// Maximum declared-thread occupancy: sum of threads_req x devices_req
+  /// over admitted, non-terminal jobs divided by the cluster's hardware
+  /// thread capacity. An arrival that would push occupancy past this is
+  /// deferred/rejected. 0 = unbounded (no occupancy gate).
+  double max_occupancy = 0.0;
+  /// When > 0, a gated arrival is deferred: re-evaluated after this many
+  /// simulated seconds instead of being dropped immediately.
+  SimTime defer_delay_s = 0.0;
+  /// Deferrals per job before it is dropped for good.
+  int max_defers = 3;
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;            ///< arrivals presented (incl. retries)
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue = 0;     ///< gated by max_queue_depth
+  std::uint64_t rejected_occupancy = 0; ///< gated by max_occupancy
+  std::uint64_t deferred = 0;           ///< gated but parked for a retry
+  std::uint64_t dropped = 0;            ///< gated with no defer budget left
+
+  /// Jobs turned away for good (every terminal rejection path).
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    return rejected_queue + rejected_occupancy + dropped;
+  }
+};
+
+enum class AdmissionDecision {
+  kAdmit,   ///< submit now
+  kDefer,   ///< park, re-offer after defer_delay_s
+  kReject,  ///< drop, count as shed load
+};
+
+/// The observed cluster state a decision is made against.
+struct AdmissionState {
+  std::size_t queue_depth = 0;      ///< schedd pending jobs
+  double occupied_threads = 0.0;    ///< declared threads of live jobs
+  double thread_capacity = 1.0;     ///< cluster hardware threads
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Decides one offered arrival and records it in the stats.
+  /// `defers_so_far` is how many times this particular job was already
+  /// deferred (0 on first offer).
+  AdmissionDecision decide(const workload::JobSpec& job,
+                           const AdmissionState& state, int defers_so_far);
+
+  [[nodiscard]] const AdmissionStats& stats() const { return stats_; }
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+};
+
+}  // namespace phisched::cluster

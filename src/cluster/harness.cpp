@@ -139,7 +139,13 @@ void Harness::build_condor() {
     negotiator_->set_pre_cycle_hook([this] { addon_->pre_cycle(); });
   }
 
-  schedd_.set_on_terminal([this](const condor::JobRecord&) {
+  schedd_.set_on_terminal([this](const condor::JobRecord& rec) {
+    // The user observer runs first, while the record is fresh, so a
+    // service layer can stream per-job wait/turnaround samples the
+    // moment they exist. Terminal transitions happen on the global lane
+    // (post_global), so the observer fires in the same deterministic
+    // order on every engine and shard count.
+    if (terminal_observer_ != nullptr) terminal_observer_(rec);
     if (complete()) {
       negotiator_->stop();
       if (sampler_ != nullptr) sampler_->stop();
@@ -216,10 +222,12 @@ void Harness::submit(const workload::JobSpec& job) {
   } else {
     // Dynamic arrival (the paper's "dynamic scenario with continuously
     // arriving jobs"): each negotiation cycle schedules a snapshot of
-    // whatever is pending at that moment.
-    const JobId id = job.id;
-    sim_->schedule_at(job.submit_time, [this, id, reqs] {
-      schedd_.submit(id, condor::make_job_ad(specs_.at(id), reqs));
+    // whatever is pending at that moment. The spec is captured by value:
+    // re-reading specs_ at fire time would silently pick up whatever a
+    // later mutation (e.g. a retry's memory boost on a resubmitted id)
+    // left there instead of what this call submitted.
+    sim_->schedule_at(job.submit_time, [this, spec = job, reqs] {
+      schedd_.submit(spec.id, condor::make_job_ad(spec, reqs));
     });
   }
 
@@ -267,6 +275,13 @@ std::size_t Harness::jobs_completed() const {
 }
 
 std::size_t Harness::jobs_failed() const { return schedd_.failed_count(); }
+
+std::size_t Harness::jobs_pending() const { return schedd_.pending_count(); }
+
+void Harness::set_terminal_observer(
+    std::function<void(const condor::JobRecord&)> observer) {
+  terminal_observer_ = std::move(observer);
+}
 
 bool Harness::dispatch(JobId job_id, NodeId node_id) {
   Node& node = *nodes_[static_cast<std::size_t>(node_id)];

@@ -23,6 +23,7 @@
 // RNG). tests/cluster/test_harness.cpp pins this for every StackConfig.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -106,6 +107,16 @@ class Harness {
   [[nodiscard]] std::size_t jobs_submitted() const { return total_jobs_; }
   [[nodiscard]] std::size_t jobs_completed() const;
   [[nodiscard]] std::size_t jobs_failed() const;
+  /// Jobs sitting in the schedd's pending queue right now (submitted,
+  /// not yet matched) — the service mode's admission queue depth.
+  [[nodiscard]] std::size_t jobs_pending() const;
+
+  /// Observer invoked on every terminal job transition (completed or
+  /// failed) with the job's final record — the hook the service mode's
+  /// SLA telemetry streams wait/turnaround samples from. Runs at a
+  /// deterministic point on both engines. Pass nullptr to clear.
+  void set_terminal_observer(
+      std::function<void(const condor::JobRecord&)> observer);
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   /// Power-user access to the event loop (e.g. to interleave custom
   /// events with the cluster's); scheduling into the past is rejected.
@@ -170,6 +181,7 @@ class Harness {
   std::unique_ptr<PeriodicTimer> sampler_;
   std::vector<std::pair<SimTime, double>> samples_;
   std::unique_ptr<obs::Recorder> recorder_;
+  std::function<void(const condor::JobRecord&)> terminal_observer_;
   bool started_ = false;
   std::optional<ExperimentResult> final_;
 };

@@ -17,9 +17,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / bin_width_));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  // A NaN sample (or weight) must fail loudly: depending on comparison
+  // order it would otherwise either vanish or land in an arbitrary
+  // bucket (casting the NaN bin index is undefined behaviour), and
+  // every downstream fraction()/ascii() read would be silently wrong.
+  PHISCHED_CHECK(!std::isnan(x),
+                 "Histogram::add: NaN sample (lo=", lo_, ", hi=", hi_, ")");
+  PHISCHED_CHECK(!std::isnan(weight), "Histogram::add: NaN weight for x=", x);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::clamp(std::floor((x - lo_) / bin_width_),
+                 0.0, static_cast<double>(counts_.size()) - 1.0));
   counts_[static_cast<std::size_t>(bin)] += weight;
   total_ += weight;
 }

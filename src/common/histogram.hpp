@@ -14,6 +14,10 @@ class Histogram {
   /// range land in the first/last bucket.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Adds one sample. Samples outside [lo, hi) clamp to the edge bins
+  /// (including ±inf); a NaN sample or weight throws InternalError —
+  /// NaN has no bucket, and admitting it would silently corrupt
+  /// total()/fraction() for every later read.
   void add(double x, double weight = 1.0);
 
   /// Zeroes every bucket (bin edges are kept). A cleared histogram is
@@ -24,6 +28,8 @@ class Histogram {
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] double total() const { return total_; }
   [[nodiscard]] double count(std::size_t bin) const;
+  /// Share of total weight in `bin`; defined as 0 for an empty
+  /// histogram (never a 0/0 NaN).
   [[nodiscard]] double fraction(std::size_t bin) const;
   [[nodiscard]] double bin_low(std::size_t bin) const;
   [[nodiscard]] double bin_high(std::size_t bin) const;

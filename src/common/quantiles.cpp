@@ -1,0 +1,123 @@
+#include "common/quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace phisched {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  PHISCHED_REQUIRE(q > 0.0 && q < 1.0, "P2Quantile: q must be in (0, 1)");
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::reset() {
+  count_ = 0;
+  heights_.fill(0.0);
+  positions_.fill(0.0);
+  desired_.fill(0.0);
+}
+
+void P2Quantile::add(double x) {
+  PHISCHED_CHECK(!std::isnan(x), "P2Quantile: NaN sample rejected (q=", q_,
+                 ", count=", count_, ")");
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        // Desired positions for n=5 samples; advanced by increments_
+        // on every later sample.
+        desired_[i] = 1.0 + 4.0 * increments_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell k with heights_[k] <= x < heights_[k+1], extending
+  // the extreme markers when x falls outside the observed range.
+  std::size_t k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions,
+  // parabolic (P²) when the neighbour spacing allows, linear otherwise.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      const double np = positions_[i] + sign;
+      // Piecewise-parabolic prediction of the marker height at np.
+      const double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback keeps the marker heights strictly ordered.
+        const std::size_t j = d >= 1.0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ <= 5) {
+    // Exact order statistic over the (up to five) buffered samples,
+    // with linear interpolation between closest ranks.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const double h = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = h - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+void SlaQuantiles::add(double x) {
+  p50_.add(x);
+  p95_.add(x);
+  p99_.add(x);
+  if (count_ == 0 || x > max_) max_ = x;
+  sum_ += x;
+  ++count_;
+}
+
+void SlaQuantiles::reset() {
+  p50_.reset();
+  p95_.reset();
+  p99_.reset();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+double SlaQuantiles::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace phisched

@@ -1,0 +1,76 @@
+// Streaming quantile estimation for the long-running service mode's SLA
+// telemetry (p50/p95/p99 wait and turnaround under open-loop traffic).
+//
+// P2Quantile implements the P² algorithm (Jain & Chlamtac, CACM 1985):
+// five markers track the target quantile in O(1) memory and O(1) update
+// time, with parabolic marker adjustment. Until five samples have
+// arrived the estimate is the exact order statistic of what was seen.
+// Everything is plain floating-point arithmetic on the sample sequence —
+// no clocks, no allocation after construction, no randomness — so a
+// given sample sequence always produces the same estimate, which the
+// service determinism suite relies on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace phisched {
+
+/// Single-quantile P² estimator.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1): 0.5 tracks the median, 0.99 the 99th percentile.
+  explicit P2Quantile(double q);
+
+  /// Feeds one sample. NaN samples are rejected loudly (they would
+  /// poison every later estimate silently).
+  void add(double x);
+
+  /// Current estimate; exact for fewer than six samples, P² beyond.
+  /// 0 before any sample arrived.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double quantile() const { return q_; }
+
+  /// Forgets every sample (the window-reset operation of the service's
+  /// per-export-interval estimators).
+  void reset();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    ///< marker heights (sorted)
+  std::array<double, 5> positions_{};  ///< actual marker positions (1-based)
+  std::array<double, 5> desired_{};    ///< desired marker positions
+  std::array<double, 5> increments_{};  ///< desired-position increments
+};
+
+/// The service's SLA bundle: p50/p95/p99 plus count/mean/max over one
+/// stream of samples (one instance per metric per window, one cumulative).
+class SlaQuantiles {
+ public:
+  SlaQuantiles() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double p50() const { return p50_.value(); }
+  [[nodiscard]] double p95() const { return p95_.value(); }
+  [[nodiscard]] double p99() const { return p99_.value(); }
+
+ private:
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace phisched

@@ -1,0 +1,84 @@
+// Open-loop arrival processes for the long-running service mode.
+//
+// An ArrivalStream produces a non-decreasing sequence of absolute
+// submission times, one per job, independent of what the cluster does
+// with them — the open-loop traffic regime (sustained overload included)
+// that the paper's closed 400/1000/1600-job sets never exercise.
+//
+// Four generators, selected by a compact spec string (the CLI's
+// --arrivals grammar, see docs/service.md):
+//
+//   poisson:rate=2.0
+//       homogeneous Poisson process, `rate` jobs/s.
+//   bursty:rate_on=5,rate_off=0.2,mean_on=30,mean_off=120
+//       Markov-modulated on/off Poisson (exponential sojourns in each
+//       phase; the classic burst model).
+//   diurnal:base=0.5,peak=3.0,period=3600
+//       non-homogeneous Poisson with a sinusoidal day curve, sampled by
+//       thinning: rate(t) = base + (peak-base) * (1 - cos(2πt/period))/2.
+//   trace:file=arrivals.txt[,scale=1.0]
+//       replayed trace: one absolute arrival time (seconds) per line,
+//       non-decreasing, '#' comments; `scale` multiplies every time
+//       (scale < 1 compresses the trace = more load).
+//
+// Every generator draws only from the Rng it is given, so a (spec, seed)
+// pair replays bit-identically — the service determinism suite depends
+// on it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace phisched::workload {
+
+enum class ArrivalKind { kPoisson, kBursty, kDiurnal, kTrace };
+
+[[nodiscard]] const char* arrival_kind_name(ArrivalKind k);
+
+/// Parsed form of the --arrivals spec string.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  double rate = 1.0;  ///< poisson: jobs/s
+
+  double rate_on = 5.0;     ///< bursty: jobs/s inside a burst
+  double rate_off = 0.0;    ///< bursty: jobs/s between bursts (0 = silent)
+  double mean_on_s = 30.0;  ///< bursty: mean burst length
+  double mean_off_s = 60.0; ///< bursty: mean gap length
+
+  double base = 0.5;          ///< diurnal: off-peak rate (jobs/s)
+  double peak = 2.0;          ///< diurnal: on-peak rate (jobs/s)
+  double period_s = 3600.0;   ///< diurnal: one "day"
+
+  std::string trace_file;    ///< trace: path to the replay file
+  double trace_scale = 1.0;  ///< trace: time multiplier
+
+  /// Parses "kind:key=value,key=value" (keys optional, order free);
+  /// throws std::invalid_argument naming the offending token.
+  [[nodiscard]] static ArrivalSpec parse(const std::string& text);
+
+  /// Canonical spec string (round-trips through parse()).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One open-loop arrival process. next() returns the next absolute
+/// arrival time (non-decreasing across calls), or nullopt once the
+/// stream is exhausted (only finite traces exhaust; the synthetic
+/// processes are infinite).
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+  [[nodiscard]] virtual std::optional<SimTime> next() = 0;
+};
+
+/// Builds the generator for `spec`, drawing from `rng` (trace streams
+/// read their file eagerly and throw std::invalid_argument on malformed
+/// or decreasing times).
+[[nodiscard]] std::unique_ptr<ArrivalStream> make_arrival_stream(
+    const ArrivalSpec& spec, Rng rng);
+
+}  // namespace phisched::workload

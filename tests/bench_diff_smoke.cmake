@@ -136,3 +136,51 @@ execute_process(COMMAND ${BENCH_DIFF} ${WORKDIR}/nonexistent.json ${BASE}
 if(rc EQUAL 0)
   message(FATAL_ERROR "missing input file did not fail")
 endif()
+
+# Malformed JSON is a parse diagnostic (exit 2) with file + byte offset,
+# never an uncaught exception / abort. "12..5" is the classic: std::stod
+# happily reads the valid prefix, so only a full-consumption check
+# rejects it.
+set(BADNUM ${WORKDIR}/bench_diff_badnum.json)
+file(WRITE ${BADNUM} [=[
+{"bench":"table2","results":[{"seed":42,"metrics":{"m":12..5}}]}
+]=])
+execute_process(COMMAND ${BENCH_DIFF} ${BADNUM} ${BASE}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "malformed number exited ${rc}, expected 2:\n${out}${err}")
+endif()
+if(NOT err MATCHES "parse error" OR NOT err MATCHES "offset")
+  message(FATAL_ERROR "malformed number missing the parse diagnostic:\n${err}")
+endif()
+if(NOT err MATCHES "malformed number")
+  message(FATAL_ERROR "diagnostic does not name the bad number:\n${err}")
+endif()
+
+# A bad \u escape used to reach std::stoul and throw out of main.
+set(BADESC ${WORKDIR}/bench_diff_badesc.json)
+file(WRITE ${BADESC} [=[
+{"bench":"\uZZZZ","results":[]}
+]=])
+execute_process(COMMAND ${BENCH_DIFF} ${BADESC} ${BASE}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bad unicode escape exited ${rc}, expected 2:\n${out}${err}")
+endif()
+if(NOT err MATCHES "parse error" OR NOT err MATCHES "hex digit")
+  message(FATAL_ERROR "bad escape missing the parse diagnostic:\n${err}")
+endif()
+
+# Truncated document: same contract.
+set(TRUNC ${WORKDIR}/bench_diff_trunc.json)
+file(WRITE ${TRUNC} [=[
+{"bench":"table2","results":[{"seed":42,
+]=])
+execute_process(COMMAND ${BENCH_DIFF} ${TRUNC} ${BASE}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "truncated report exited ${rc}, expected 2:\n${err}")
+endif()
+if(NOT err MATCHES "parse error")
+  message(FATAL_ERROR "truncated report missing the parse diagnostic:\n${err}")
+endif()

@@ -1,0 +1,59 @@
+# Service-mode smoke: a bounded --serve run with Poisson arrivals must
+# exit clean, print the per-window SLA table, and export an SLA JSON
+# document that tools/bench_diff's reader both parses and accepts —
+# diffing the export against itself is the validation (exit 0, no diff).
+set(SLA ${WORKDIR}/serve_sla.json)
+set(SLA2 ${WORKDIR}/serve_sla_repeat.json)
+
+execute_process(
+  COMMAND ${CLI} --serve --nodes 2 --seed 7
+    --arrivals poisson:rate=0.15 --horizon 300 --sla-interval 60
+    --admit-queue 20 --sla-out ${SLA}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve run failed (rc=${rc}):\n${out}${err}")
+endif()
+if(NOT out MATCHES "p99 wait")
+  message(FATAL_ERROR "serve run missing the SLA window table:\n${out}")
+endif()
+if(NOT EXISTS ${SLA})
+  message(FATAL_ERROR "--sla-out did not write ${SLA}")
+endif()
+
+file(READ ${SLA} sla)
+foreach(key "\"bench\": \"service\"" "cum_p99_wait_s" "queue_depth"
+        "jobs_generated" "fairness_jain")
+  if(NOT sla MATCHES "${key}")
+    message(FATAL_ERROR "SLA export missing ${key}:\n${sla}")
+  endif()
+endforeach()
+
+# The export must survive bench_diff's strict JSON reader and window-pair
+# cleanly against itself.
+execute_process(COMMAND ${BENCH_DIFF} ${SLA} ${SLA}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff rejected the SLA export (rc=${rc}):\n${out}${err}")
+endif()
+
+# Same seed, same config: the export is bit-identical across repeats.
+execute_process(
+  COMMAND ${CLI} --serve --nodes 2 --seed 7
+    --arrivals poisson:rate=0.15 --horizon 300 --sla-interval 60
+    --admit-queue 20 --sla-out ${SLA2}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "repeat serve run failed (rc=${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${SLA} ${SLA2}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve export differs across identical runs")
+endif()
+
+# A malformed arrival spec is a usage error, not a crash.
+execute_process(COMMAND ${CLI} --serve --arrivals poisson:rate=banana
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "malformed --arrivals spec did not fail")
+endif()

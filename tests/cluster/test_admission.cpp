@@ -1,0 +1,93 @@
+// Admission controller: pure decisions from observed state, with the
+// queue-depth gate, the occupancy gate, the defer budget, and exact
+// bookkeeping in the stats.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/admission.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+workload::JobSpec job_with(ThreadCount threads, int devices = 1) {
+  workload::JobSpec job;
+  job.threads_req = threads;
+  job.devices_req = devices;
+  return job;
+}
+
+TEST(Admission, UnboundedConfigAdmitsEverything) {
+  AdmissionController ctl(AdmissionConfig{});
+  const AdmissionState state{1000, 1e9, 1.0};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ctl.decide(job_with(240), state, 0), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(ctl.stats().offered, 5u);
+  EXPECT_EQ(ctl.stats().admitted, 5u);
+  EXPECT_EQ(ctl.stats().rejected_total(), 0u);
+}
+
+TEST(Admission, QueueDepthGateRejects) {
+  AdmissionConfig config;
+  config.max_queue_depth = 10;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.decide(job_with(60), {9, 0.0, 960.0}, 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.decide(job_with(60), {10, 0.0, 960.0}, 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_queue, 1u);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 0u);
+  EXPECT_EQ(ctl.stats().rejected_total(), 1u);
+}
+
+TEST(Admission, OccupancyGateCountsDeclaredGangThreads) {
+  AdmissionConfig config;
+  config.max_occupancy = 0.5;  // of 960 threads = 480
+  AdmissionController ctl(config);
+  // 300 occupied + 120 declared = 420 < 480: admit.
+  EXPECT_EQ(ctl.decide(job_with(120), {0, 300.0, 960.0}, 0),
+            AdmissionDecision::kAdmit);
+  // Gang of 2 devices doubles the declaration: 300 + 240 > 480: reject.
+  EXPECT_EQ(ctl.decide(job_with(120, 2), {0, 300.0, 960.0}, 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 1u);
+}
+
+TEST(Admission, DeferBudgetThenDrop) {
+  AdmissionConfig config;
+  config.max_queue_depth = 1;
+  config.defer_delay_s = 10.0;
+  config.max_defers = 2;
+  AdmissionController ctl(config);
+  const AdmissionState full{1, 0.0, 960.0};
+  EXPECT_EQ(ctl.decide(job_with(60), full, 0), AdmissionDecision::kDefer);
+  EXPECT_EQ(ctl.decide(job_with(60), full, 1), AdmissionDecision::kDefer);
+  EXPECT_EQ(ctl.decide(job_with(60), full, 2), AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().deferred, 2u);
+  EXPECT_EQ(ctl.stats().dropped, 1u);
+  EXPECT_EQ(ctl.stats().rejected_queue, 0u)
+      << "a shed deferred job counts as dropped, not queue-rejected";
+  EXPECT_EQ(ctl.stats().rejected_total(), 1u);
+
+  // A deferred job admitted on retry counts once as deferred + admitted.
+  EXPECT_EQ(ctl.decide(job_with(60), {0, 0.0, 960.0}, 1),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.stats().admitted, 1u);
+  EXPECT_EQ(ctl.stats().offered, 4u);
+}
+
+TEST(Admission, RejectsInvalidConfigLoudly) {
+  AdmissionConfig bad;
+  bad.defer_delay_s = -1.0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = AdmissionConfig{};
+  bad.max_occupancy = -0.1;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = AdmissionConfig{};
+  bad.max_defers = -1;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -304,6 +304,84 @@ TEST(Harness, SubmitAfterDrainResumesTheRun) {
   EXPECT_GE(after.makespan, first_makespan);
 }
 
+TEST(Harness, DuplicateIdRejectedWhileArrivalStillPending) {
+  // A future-dated arrival reserves its id at submit() time, not at
+  // fire time — a second submission under the same id must fail loudly
+  // even though the first job is still sitting in the event queue.
+  Harness harness(small_cluster(StackConfig::kMCC, 4));
+  auto jobs = workload::make_real_jobset(2, Rng(4).child("jobs"));
+  jobs[0].submit_time = 50.0;
+  harness.submit(jobs[0]);
+  jobs[1].id = jobs[0].id;
+  EXPECT_THROW(harness.submit(jobs[1]), std::exception);
+}
+
+TEST(Harness, DeferredArrivalRunsTheSpecAsSubmitted) {
+  // Regression: the pending-arrival event must capture the spec by
+  // value. Mutating the caller's copy after submit() — or anything the
+  // harness's own tables later do under that id — must not change what
+  // fires. Two harnesses, identical submissions; one caller scribbles
+  // over its local spec afterwards; the results must stay bit-identical.
+  const ExperimentConfig config = small_cluster(StackConfig::kMCCK, 6);
+  auto jobs = workload::make_real_jobset(6, Rng(6).child("jobs"));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].submit_time = 20.0 * static_cast<double>(i);
+  }
+
+  Harness clean(config);
+  clean.submit(jobs);
+  const ExperimentResult expected = clean.run_to_completion();
+
+  Harness scribbled(config);
+  for (auto job : jobs) {  // deliberate copy: the caller's to deface
+    scribbled.submit(job);
+    job.threads_req = 1;
+    job.mem_req_mib = 1;
+    job.profile = {};
+  }
+  expect_identical(expected, scribbled.run_to_completion());
+}
+
+TEST(Harness, WarmResubmissionWithFutureArrivalsStillPending) {
+  // Drain, then resubmit a batch whose arrivals are still in the
+  // future: the run re-opens, result() refuses mid-way, and a second
+  // drain lands every straggler.
+  const std::uint64_t seed = 31;
+  Harness harness(small_cluster(StackConfig::kMCCK, seed));
+  harness.submit(workload::make_real_jobset(8, Rng(seed).child("jobs")));
+  harness.run_to_completion();
+  ASSERT_TRUE(harness.complete());
+  const SimTime drained_at = harness.now();
+
+  auto late = workload::make_real_jobset(4, Rng(seed).child("late"));
+  for (std::size_t i = 0; i < late.size(); ++i) {
+    late[i].id += 1000;
+    late[i].submit_time = drained_at + 30.0 * static_cast<double>(i + 1);
+  }
+  harness.submit(late);
+  EXPECT_FALSE(harness.complete());
+  EXPECT_THROW((void)harness.result(), std::exception)
+      << "result() must refuse while future arrivals are pending";
+
+  // Mid-way: past the first late arrival, before the last.
+  harness.run_until(drained_at + 45.0);
+  EXPECT_FALSE(harness.complete());
+  EXPECT_THROW((void)harness.result(), std::exception);
+
+  const ExperimentResult final_result = harness.run_to_completion();
+  EXPECT_TRUE(harness.complete());
+  EXPECT_EQ(final_result.jobs_completed + final_result.jobs_failed, 12u);
+}
+
+TEST(Harness, JobsPendingTracksTheScheddQueue) {
+  Harness harness(small_cluster(StackConfig::kMCC, 8));
+  EXPECT_EQ(harness.jobs_pending(), 0u);
+  harness.submit(workload::make_real_jobset(5, Rng(8).child("jobs")));
+  EXPECT_EQ(harness.jobs_pending(), 5u);
+  harness.run_to_completion();
+  EXPECT_EQ(harness.jobs_pending(), 0u);
+}
+
 TEST(Harness, LazyStartLeavesTheQueueEmpty) {
   Harness harness(small_cluster(StackConfig::kMCC, 2));
   EXPECT_FALSE(harness.started());

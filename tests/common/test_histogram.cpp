@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/error.hpp"
+
 namespace phisched {
 namespace {
 
@@ -55,6 +59,35 @@ TEST(Histogram, AsciiRenderContainsBars) {
   const std::string art = h.ascii(10);
   EXPECT_NE(art.find("##########"), std::string::npos);  // modal bin
   EXPECT_NE(art.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, NanSamplesAndWeightsAreRejectedLoudly) {
+  // NaN has no bucket: admitting it would silently corrupt total() and
+  // every later fraction() read, so the histogram refuses it up front.
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(h.add(nan), InternalError);
+  EXPECT_THROW(h.add(1.0, nan), InternalError);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0) << "a rejected sample must not count";
+}
+
+TEST(Histogram, InfiniteSamplesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, ClearRestoresTheEmptyState) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0, 2.5);
+  h.clear();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);  // never a 0/0 NaN
 }
 
 TEST(Histogram, RejectsBadConstruction) {

@@ -1,0 +1,139 @@
+// P² streaming quantiles: exact below six samples, accurate beyond,
+// deterministic, and loud on NaN — the properties the service-mode SLA
+// telemetry depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/quantiles.hpp"
+#include "common/rng.hpp"
+
+namespace phisched {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  return xs[lo] + (h - static_cast<double>(lo)) * (xs[hi] - xs[lo]);
+}
+
+TEST(P2Quantile, EmptyEstimatorReportsZero) {
+  EXPECT_EQ(P2Quantile(0.5).value(), 0.0);
+}
+
+TEST(P2Quantile, RequiresQuantileInOpenUnitInterval) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.999));
+}
+
+TEST(P2Quantile, ExactForUpToFiveSamples) {
+  // Below six samples the estimate must be the exact interpolated order
+  // statistic, in any insertion order.
+  const std::vector<double> samples = {9.0, 1.0, 5.0, 3.0, 7.0};
+  for (std::size_t n = 1; n <= samples.size(); ++n) {
+    for (const double q : {0.25, 0.5, 0.9}) {
+      P2Quantile est(q);
+      for (std::size_t i = 0; i < n; ++i) est.add(samples[i]);
+      const std::vector<double> prefix(samples.begin(),
+                                       samples.begin() + static_cast<long>(n));
+      EXPECT_DOUBLE_EQ(est.value(), exact_quantile(prefix, q))
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(P2Quantile, TracksUniformStreamWithinTolerance) {
+  Rng rng(42);
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform_real(0.0, 100.0);
+    all.push_back(x);
+    p50.add(x);
+    p95.add(x);
+  }
+  EXPECT_NEAR(p50.value(), exact_quantile(all, 0.5), 1.5);
+  EXPECT_NEAR(p95.value(), exact_quantile(all, 0.95), 1.5);
+}
+
+TEST(P2Quantile, TracksSkewedStreamWithinTolerance) {
+  // Exponential-ish tail — the shape wait-time distributions take.
+  Rng rng(7);
+  P2Quantile p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(0.1);
+    all.push_back(x);
+    p99.add(x);
+  }
+  const double exact = exact_quantile(all, 0.99);
+  EXPECT_NEAR(p99.value(), exact, 0.1 * exact);
+}
+
+TEST(P2Quantile, DeterministicForIdenticalSampleSequences) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  P2Quantile a(0.95);
+  P2Quantile b(0.95);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(rng_a.exponential(1.0));
+    b.add(rng_b.exponential(1.0));
+  }
+  EXPECT_EQ(a.value(), b.value());  // bit-identical, not just close
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(P2Quantile, NanSampleIsRejectedLoudly) {
+  P2Quantile est(0.5);
+  est.add(1.0);
+  EXPECT_THROW(est.add(std::numeric_limits<double>::quiet_NaN()),
+               InternalError);
+  // Infinity is a valid (if extreme) sample; only NaN poisons markers.
+  EXPECT_NO_THROW(est.add(std::numeric_limits<double>::infinity()));
+}
+
+TEST(P2Quantile, ResetForgetsEverything) {
+  P2Quantile est(0.5);
+  for (int i = 0; i < 100; ++i) est.add(static_cast<double>(i));
+  est.reset();
+  EXPECT_EQ(est.count(), 0u);
+  EXPECT_EQ(est.value(), 0.0);
+  est.add(5.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);
+}
+
+TEST(SlaQuantiles, BundlesCountMeanMaxAndPercentiles) {
+  SlaQuantiles sla;
+  EXPECT_EQ(sla.count(), 0u);
+  EXPECT_EQ(sla.mean(), 0.0);
+  EXPECT_EQ(sla.max(), 0.0);
+  for (const double x : {4.0, 2.0, 6.0}) sla.add(x);
+  EXPECT_EQ(sla.count(), 3u);
+  EXPECT_DOUBLE_EQ(sla.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(sla.max(), 6.0);
+  EXPECT_DOUBLE_EQ(sla.p50(), 4.0);
+  sla.reset();
+  EXPECT_EQ(sla.count(), 0u);
+  EXPECT_EQ(sla.max(), 0.0);
+}
+
+TEST(SlaQuantiles, PercentilesAreOrderedOnLargeStreams) {
+  Rng rng(11);
+  SlaQuantiles sla;
+  for (int i = 0; i < 10000; ++i) sla.add(rng.exponential(0.5));
+  EXPECT_LE(sla.p50(), sla.p95());
+  EXPECT_LE(sla.p95(), sla.p99());
+  EXPECT_LE(sla.p99(), sla.max());
+}
+
+}  // namespace
+}  // namespace phisched

@@ -62,11 +62,27 @@ class JsonParser {
     JsonValue v;
     if (!parse_value(v)) return std::nullopt;
     skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) return fail("trailing garbage"), std::nullopt;
     return v;
   }
 
+  /// First failure, for the caller's diagnostic: what went wrong and the
+  /// byte offset it went wrong at.
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t error_pos() const { return error_pos_; }
+
  private:
+  /// Records the first (deepest) failure; later callers up the recursion
+  /// keep the original message. Always returns false so failure sites
+  /// read `return fail(...)`.
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
@@ -76,14 +92,16 @@ class JsonParser {
 
   bool literal(const char* word) {
     const std::size_t n = std::string_view(word).size();
-    if (text_.compare(pos_, n, word) != 0) return false;
+    if (text_.compare(pos_, n, word) != 0) {
+      return fail(std::string("expected \"") + word + "\"");
+    }
     pos_ += n;
     return true;
   }
 
   bool parse_value(JsonValue& out) {
     skip_ws();
-    if (pos_ >= text_.size()) return false;
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{': return parse_object(out);
       case '[': return parse_array(out);
@@ -115,18 +133,21 @@ class JsonParser {
     }
     for (;;) {
       skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
-        return false;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
       }
+      std::string key;
+      if (!parse_string(key)) return false;
       skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
       ++pos_;
       JsonValue v;
       if (!parse_value(v)) return false;
       out.object.emplace(std::move(key), std::move(v));
       skip_ws();
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size()) return fail("unterminated object");
       if (text_[pos_] == ',') {
         ++pos_;
         continue;
@@ -135,7 +156,7 @@ class JsonParser {
         ++pos_;
         return true;
       }
-      return false;
+      return fail("expected ',' or '}' in object");
     }
   }
 
@@ -152,7 +173,7 @@ class JsonParser {
       if (!parse_value(v)) return false;
       out.array.push_back(std::move(v));
       skip_ws();
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size()) return fail("unterminated array");
       if (text_[pos_] == ',') {
         ++pos_;
         continue;
@@ -161,7 +182,7 @@ class JsonParser {
         ++pos_;
         return true;
       }
-      return false;
+      return fail("expected ',' or ']' in array");
     }
   }
 
@@ -175,7 +196,7 @@ class JsonParser {
         out.push_back(c);
         continue;
       }
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size()) return fail("unterminated escape");
       const char esc = text_[pos_++];
       switch (esc) {
         case '"': out.push_back('"'); break;
@@ -188,18 +209,28 @@ class JsonParser {
         case 't': out.push_back('\t'); break;
         case 'u': {
           // Bench metric names are ASCII; keep the code point literal.
-          if (pos_ + 4 > text_.size()) return false;
-          const unsigned long cp =
-              std::stoul(text_.substr(pos_, 4), nullptr, 16);
+          // Validated by hand — std::stoul would throw on bad digits and
+          // silently accept garbage like "12x4" (it stops at 'x').
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (std::size_t i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            const int digit = h >= '0' && h <= '9'   ? h - '0'
+                              : h >= 'a' && h <= 'f' ? h - 'a' + 10
+                              : h >= 'A' && h <= 'F' ? h - 'A' + 10
+                                                     : -1;
+            if (digit < 0) return fail("bad hex digit in \\u escape");
+            cp = cp * 16 + static_cast<unsigned>(digit);
+          }
           pos_ += 4;
-          if (cp > 0x7F) return false;
+          if (cp > 0x7F) return fail("non-ASCII \\u escape");
           out.push_back(static_cast<char>(cp));
           break;
         }
-        default: return false;
+        default: return fail("unknown escape character");
       }
     }
-    return false;
+    return fail("unterminated string");
   }
 
   bool parse_number(JsonValue& out) {
@@ -210,11 +241,19 @@ class JsonParser {
             text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
     }
-    if (pos_ == start) return false;
+    if (pos_ == start) return fail("unexpected character");
+    const std::string token = text_.substr(start, pos_ - start);
+    // std::stod both throws on a fully bad token ("--") and silently
+    // accepts a valid prefix ("12..5" → 12); require full consumption.
+    std::size_t used = 0;
     try {
-      out.number = std::stod(text_.substr(start, pos_ - start));
+      out.number = std::stod(token, &used);
     } catch (...) {
-      return false;
+      used = 0;
+    }
+    if (used != token.size()) {
+      pos_ = start;
+      return fail("malformed number \"" + token.substr(0, 16) + "\"");
     }
     out.kind = JsonValue::Kind::kNumber;
     return true;
@@ -222,6 +261,8 @@ class JsonParser {
 
   std::string text_;
   std::size_t pos_ = 0;
+  std::string error_;
+  std::size_t error_pos_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -242,9 +283,16 @@ std::optional<BenchReport> load_report(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto doc = JsonParser(buffer.str()).parse();
-  if (!doc || doc->kind != JsonValue::Kind::kObject) {
-    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+  JsonParser parser(buffer.str());
+  auto doc = parser.parse();
+  if (!doc) {
+    std::fprintf(stderr, "bench_diff: parse error in %s at offset %zu: %s\n",
+                 path.c_str(), parser.error_pos(), parser.error().c_str());
+    return std::nullopt;
+  }
+  if (doc->kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "bench_diff: %s is not a JSON report object\n",
+                 path.c_str());
     return std::nullopt;
   }
   BenchReport report;

@@ -13,12 +13,16 @@
 
 #include "cluster/harness.hpp"
 #include "cluster/report.hpp"
+#include "cluster/service.hpp"
 #include "common/args.hpp"
 #include "common/json.hpp"
 #include "common/sparkline.hpp"
 #include "obs/recorder.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/io.hpp"
 #include "workload/jobset.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/templates.hpp"
 
 namespace {
 
@@ -68,6 +72,35 @@ options:
   --save-jobs PATH      write the generated job set to PATH and exit
   --load-jobs PATH      run on a job set loaded from PATH (see workload/io.hpp)
   --help                this text
+
+service mode (open-loop streaming arrivals, see docs/service.md):
+  --serve               run as a long-lived service instead of a batch:
+                        jobs stream in from --arrivals, admission control
+                        sheds load, SLA percentiles export per window
+  --arrivals SPEC       arrival process (default poisson:rate=1.0):
+                        poisson:rate=R
+                        bursty:rate_on=R,rate_off=R,mean_on=S,mean_off=S
+                        diurnal:base=R,peak=R,period=S
+                        trace:file=PATH[,scale=X]
+  --horizon S           generate arrivals for S simulated seconds
+                        (default 600)
+  --sla-interval S      SLA export window length (default 60)
+  --sla-out PATH        write the windowed SLA report as JSON to PATH
+                        (bench-report shaped; tools/bench_diff reads it)
+  --admit-queue N       reject/defer arrivals when the pending queue
+                        holds N jobs (default 0 = unbounded)
+  --admit-occupancy X   reject/defer arrivals pushing declared-thread
+                        occupancy past fraction X (default 0 = unbounded)
+  --admit-defer S       defer gated arrivals S seconds instead of
+                        rejecting outright (default 0 = reject)
+  --admit-max-defers N  defers per job before it is dropped (default 3)
+  --tenants N           attribute jobs round-robin-free to N tenants and
+                        export per-tenant fairness gauges (default 1)
+  --tenant-skew X       tenant k draws with weight (k+1)^-X (default 0)
+  --no-drain            stop at the horizon instead of draining admitted
+                        jobs to completion
+  In service mode --jobs caps generated arrivals (default 0 = unbounded)
+  and --workload picks the per-arrival job mix.
 )";
 
 cluster::StackConfig parse_stack(const std::string& name) {
@@ -117,6 +150,121 @@ workload::JobSet make_jobs(const std::string& name, std::size_t count,
   throw std::invalid_argument("unknown --workload '" + name + "'");
 }
 
+/// The cluster knobs shared by batch and service mode.
+cluster::ExperimentConfig cluster_config_from_args(const ArgParser& args,
+                                                   std::uint64_t seed) {
+  cluster::ExperimentConfig config;
+  config.node_count = static_cast<std::size_t>(args.get_int_or("nodes", 8));
+  config.node_hw.phi_devices = static_cast<int>(args.get_int_or("devices", 1));
+  config.seed = seed;
+  config.negotiation_interval = args.get_real_or("negotiation-interval", 5.0);
+  config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
+  if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
+
+  config.pcie.contention = args.get_bool_or("pcie-contention", false);
+  config.pcie.bandwidth_mib_s =
+      args.get_real_or("pcie-bandwidth", config.pcie.bandwidth_mib_s);
+  config.pcie_switch.enabled = args.get_bool_or("pcie-switch", false);
+  if (config.pcie_switch.enabled) config.pcie.contention = true;
+  config.pcie_switch.bandwidth_mib_s = args.get_real_or(
+      "pcie-switch-bandwidth", config.pcie_switch.bandwidth_mib_s);
+  config.parallel_shards =
+      static_cast<std::size_t>(args.get_int_or("parallel-shards", 0));
+  return config;
+}
+
+/// Per-arrival job sampler for --serve: the Table I mix for "real"
+/// (the Service's default), a Fig. 7 synthetic distribution otherwise.
+std::function<workload::JobSpec(JobId, Rng&)> make_job_factory(
+    const std::string& name) {
+  if (name == "real") return {};
+  workload::SyntheticConfig config;
+  if (name == "uniform") {
+    config.distribution = workload::Distribution::kUniform;
+  } else if (name == "normal") {
+    config.distribution = workload::Distribution::kNormal;
+  } else if (name == "lowskew") {
+    config.distribution = workload::Distribution::kLowSkew;
+  } else if (name == "highskew") {
+    config.distribution = workload::Distribution::kHighSkew;
+  } else {
+    throw std::invalid_argument("unknown --workload '" + name + "'");
+  }
+  return [config](JobId id, Rng& rng) {
+    return workload::sample_synthetic_job(config, id, rng);
+  };
+}
+
+int run_serve(const ArgParser& args, std::uint64_t seed,
+              const std::string& workload_name) {
+  cluster::ServiceConfig config;
+  config.cluster = cluster_config_from_args(args, seed);
+  config.cluster.stack = parse_stack(args.get_or("stack", "MCCK"));
+  config.arrivals =
+      workload::ArrivalSpec::parse(args.get_or("arrivals", "poisson:rate=1.0"));
+  config.horizon_s = args.get_real_or("horizon", 600.0);
+  config.window_s = args.get_real_or("sla-interval", 60.0);
+  config.drain = !args.get_bool_or("no-drain", false);
+  config.max_jobs = static_cast<std::size_t>(args.get_int_or("jobs", 0));
+  config.tenants = static_cast<std::size_t>(args.get_int_or("tenants", 1));
+  config.tenant_skew = args.get_real_or("tenant-skew", 0.0);
+  config.admission.max_queue_depth =
+      static_cast<std::size_t>(args.get_int_or("admit-queue", 0));
+  config.admission.max_occupancy = args.get_real_or("admit-occupancy", 0.0);
+  config.admission.defer_delay_s = args.get_real_or("admit-defer", 0.0);
+  config.admission.max_defers =
+      static_cast<int>(args.get_int_or("admit-max-defers", 3));
+  config.job_factory = make_job_factory(workload_name);
+
+  cluster::Service service(config);
+  const cluster::ServiceResult result = service.run();
+
+  std::printf("service: %s, %s jobs on %zu nodes, horizon %.0f s "
+              "(seed %llu)\n\n",
+              config.arrivals.to_string().c_str(), workload_name.c_str(),
+              config.cluster.node_count, config.horizon_s,
+              static_cast<unsigned long long>(seed));
+  std::printf("%8s %8s %8s %8s %8s %10s %12s\n", "window", "offered",
+              "admitted", "rejected", "queue", "p99 wait", "p99 turn");
+  for (const auto& window : result.windows) {
+    const auto& m = window.metrics;
+    const auto get = [&m](const char* key) {
+      const auto it = m.find(key);
+      return it == m.end() ? 0.0 : it->second;
+    };
+    std::printf("%8zu %8.0f %8.0f %8.0f %8.0f %9.2fs %11.2fs\n", window.index,
+                get("offered"), get("admitted"), get("rejected_total"),
+                get("queue_depth"), get("p99_wait_s"),
+                get("p99_turnaround_s"));
+  }
+  std::printf("\ngenerated %zu, admitted %llu, rejected %llu "
+              "(queue %llu, occupancy %llu, dropped %llu), deferrals %llu\n",
+              result.jobs_generated,
+              static_cast<unsigned long long>(result.admission.admitted),
+              static_cast<unsigned long long>(
+                  result.admission.rejected_total()),
+              static_cast<unsigned long long>(result.admission.rejected_queue),
+              static_cast<unsigned long long>(
+                  result.admission.rejected_occupancy),
+              static_cast<unsigned long long>(result.admission.dropped),
+              static_cast<unsigned long long>(result.admission.deferred));
+  std::printf("completed %zu, failed %zu, %s at t=%.1f s\n",
+              result.cluster.jobs_completed, result.cluster.jobs_failed,
+              result.drained ? "drained" : "stopped (not drained)",
+              result.cluster.makespan);
+
+  if (const auto path = args.get("sla-out"); path.has_value()) {
+    std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+    if (out) out << cluster::sla_report_json(config, result) << '\n';
+    if (!out || !out.good()) {
+      std::fprintf(stderr, "failed to write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path->c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,7 +279,10 @@ int main(int argc, char** argv) {
          "arrival-rate", "negotiation-interval", "overcommit", "series",
          "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
          "metrics-filter", "pcie-contention", "pcie-bandwidth",
-         "pcie-switch", "pcie-switch-bandwidth", "parallel-shards", "help"});
+         "pcie-switch", "pcie-switch-bandwidth", "parallel-shards", "serve",
+         "arrivals", "horizon", "sla-interval", "sla-out", "admit-queue",
+         "admit-occupancy", "admit-defer", "admit-max-defers", "tenants",
+         "tenant-skew", "no-drain", "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());
@@ -139,9 +290,12 @@ int main(int argc, char** argv) {
     }
 
     const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+    const std::string workload_name = args.get_or("workload", "real");
+    if (args.get_bool_or("serve", false)) {
+      return run_serve(args, seed, workload_name);
+    }
     const auto job_count =
         static_cast<std::size_t>(args.get_int_or("jobs", 1000));
-    const std::string workload_name = args.get_or("workload", "real");
 
     workload::JobSet jobs;
     if (const auto path = args.get("load-jobs"); path.has_value()) {
@@ -168,25 +322,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    cluster::ExperimentConfig config;
-    config.node_count = static_cast<std::size_t>(args.get_int_or("nodes", 8));
-    config.node_hw.phi_devices =
-        static_cast<int>(args.get_int_or("devices", 1));
-    config.seed = seed;
-    config.negotiation_interval =
-        args.get_real_or("negotiation-interval", 5.0);
-    config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
-    if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
-
-    config.pcie.contention = args.get_bool_or("pcie-contention", false);
-    config.pcie.bandwidth_mib_s =
-        args.get_real_or("pcie-bandwidth", config.pcie.bandwidth_mib_s);
-    config.pcie_switch.enabled = args.get_bool_or("pcie-switch", false);
-    if (config.pcie_switch.enabled) config.pcie.contention = true;
-    config.pcie_switch.bandwidth_mib_s = args.get_real_or(
-        "pcie-switch-bandwidth", config.pcie_switch.bandwidth_mib_s);
-    config.parallel_shards =
-        static_cast<std::size_t>(args.get_int_or("parallel-shards", 0));
+    cluster::ExperimentConfig config = cluster_config_from_args(args, seed);
 
     const auto metrics_path = args.get("metrics-out");
     const auto events_path = args.get("events-out");
