@@ -12,6 +12,32 @@ AdmissionController::AdmissionController(const AdmissionConfig& config)
                    "admission: defer_delay_s must be >= 0");
   PHISCHED_REQUIRE(config_.max_defers >= 0,
                    "admission: max_defers must be >= 0");
+  if (config_.consult_packer) {
+    packer_ = std::make_unique<knapsack::BatchPacker>(config_.packer);
+  }
+}
+
+bool AdmissionController::packable(const workload::JobSpec& job,
+                                   const AdmissionState& state) const {
+  if (packer_ == nullptr || state.devices.empty()) return false;
+  // Gang jobs need devices_req coprocessors simultaneously; the
+  // single-knapsack consult does not model that, so they stay with the
+  // aggregate gate's verdict.
+  if (job.devices_req != 1) return false;
+  knapsack::BatchProblem problem;
+  problem.bins.reserve(state.devices.size());
+  for (const DeviceCapacity& device : state.devices) {
+    problem.bins.push_back(
+        knapsack::BatchBin{device.free_mib, device.free_threads});
+  }
+  knapsack::BatchJob item;
+  item.tag = 0;
+  item.mem_mib = job.mem_req_mib;
+  item.threads = job.threads_req;
+  item.eligible.resize(problem.bins.size());
+  for (std::size_t b = 0; b < problem.bins.size(); ++b) item.eligible[b] = b;
+  problem.jobs.push_back(std::move(item));
+  return !packer_->pack(problem).placed.empty();
 }
 
 AdmissionDecision AdmissionController::decide(const workload::JobSpec& job,
@@ -30,6 +56,14 @@ AdmissionDecision AdmissionController::decide(const workload::JobSpec& job,
 
   if (!queue_full && !occupancy_full) {
     stats_.admitted += 1;
+    return AdmissionDecision::kAdmit;
+  }
+  // The occupancy gate compares scalars and cannot see per-device
+  // fragmentation; when configured, let the packer overrule it with an
+  // actual placement. The queue gate is not negotiable this way.
+  if (occupancy_full && !queue_full && packable(job, state)) {
+    stats_.admitted += 1;
+    stats_.admitted_by_pack += 1;
     return AdmissionDecision::kAdmit;
   }
   if (config_.defer_delay_s > 0.0 && defers_so_far < config_.max_defers) {

@@ -10,8 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/types.hpp"
+#include "knapsack/batch.hpp"
 #include "workload/jobspec.hpp"
 
 namespace phisched::cluster {
@@ -30,11 +33,24 @@ struct AdmissionConfig {
   SimTime defer_delay_s = 0.0;
   /// Deferrals per job before it is dropped for good.
   int max_defers = 3;
+  /// When true, an arrival the aggregate occupancy gate would turn away
+  /// is double-checked against the per-device capacity snapshot with the
+  /// negotiator's batch packer: if some device can actually take the
+  /// job's declaration, it is admitted anyway (counted in
+  /// admitted_by_pack). The aggregate threshold is a scalar and cannot
+  /// see fragmentation in either direction; the pack consult makes the
+  /// occupancy gate reject only when no feasible placement exists.
+  bool consult_packer = false;
+  /// Packer backend for the consult (same choices as the negotiator's).
+  knapsack::SolverKind packer = knapsack::SolverKind::kDp2D;
 };
 
 struct AdmissionStats {
   std::uint64_t offered = 0;            ///< arrivals presented (incl. retries)
   std::uint64_t admitted = 0;
+  /// Of `admitted`: arrivals the occupancy gate had turned away that the
+  /// packer consult found a real placement for.
+  std::uint64_t admitted_by_pack = 0;
   std::uint64_t rejected_queue = 0;     ///< gated by max_queue_depth
   std::uint64_t rejected_occupancy = 0; ///< gated by max_occupancy
   std::uint64_t deferred = 0;           ///< gated but parked for a retry
@@ -52,11 +68,22 @@ enum class AdmissionDecision {
   kReject,  ///< drop, count as shed load
 };
 
+/// One coprocessor's declared-free capacity right now (net of resident
+/// reservations) — what the packer consult packs against.
+struct DeviceCapacity {
+  MiB free_mib = 0;
+  ThreadCount free_threads = 0;
+};
+
 /// The observed cluster state a decision is made against.
 struct AdmissionState {
   std::size_t queue_depth = 0;      ///< schedd pending jobs
   double occupied_threads = 0.0;    ///< declared threads of live jobs
   double thread_capacity = 1.0;     ///< cluster hardware threads
+  /// Per-device free capacities (any order; only consulted when
+  /// AdmissionConfig::consult_packer is set). Empty = consult disabled
+  /// for this decision.
+  std::vector<DeviceCapacity> devices;
 };
 
 class AdmissionController {
@@ -73,8 +100,13 @@ class AdmissionController {
   [[nodiscard]] const AdmissionConfig& config() const { return config_; }
 
  private:
+  /// True when some device in `state` can take the job's declaration.
+  [[nodiscard]] bool packable(const workload::JobSpec& job,
+                              const AdmissionState& state) const;
+
   AdmissionConfig config_;
   AdmissionStats stats_;
+  std::unique_ptr<knapsack::BatchPacker> packer_;  ///< null unless consulted
 };
 
 }  // namespace phisched::cluster

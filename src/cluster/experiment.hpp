@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "condor/strategy.hpp"
 #include "core/addon.hpp"
 #include "cosmic/middleware.hpp"
 #include "core/policy.hpp"
@@ -41,6 +42,10 @@ struct ExperimentConfig {
 
   /// Condor negotiation cycle (Section IV-D1: decisions wait for it).
   SimTime negotiation_interval = 5.0;
+  /// Matchmaking strategy the negotiator runs each cycle: the default
+  /// per-job FIFO walk, or the batched occupancy-aware pipeline
+  /// (condor::parse_negotiation understands the CLI grammar).
+  condor::NegotiationConfig negotiation{};
   /// Shadow/starter launch latency after a match.
   SimTime dispatch_latency = 0.5;
   /// Collector staleness: machine ads refresh only every this many

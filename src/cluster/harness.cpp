@@ -103,6 +103,7 @@ void Harness::build_condor() {
   condor::NegotiatorConfig ncfg;
   ncfg.cycle_interval = config_.negotiation_interval;
   ncfg.order = condor::MachineOrder::kRandom;
+  ncfg.negotiation = config_.negotiation;
   negotiator_ = std::make_unique<condor::Negotiator>(
       *sim_, schedd_, collector_,
       [this](JobId job, NodeId node) { return dispatch(job, node); }, ncfg,
@@ -277,6 +278,18 @@ std::size_t Harness::jobs_completed() const {
 std::size_t Harness::jobs_failed() const { return schedd_.failed_count(); }
 
 std::size_t Harness::jobs_pending() const { return schedd_.pending_count(); }
+
+std::vector<DeviceCapacity> Harness::device_capacities() const {
+  std::vector<DeviceCapacity> capacities;
+  for (const auto& node : nodes_) {
+    for (DeviceId d = 0; d < node->device_count(); ++d) {
+      capacities.push_back(
+          DeviceCapacity{node->middleware().unreserved_memory(d),
+                         node->middleware().unreserved_threads(d)});
+    }
+  }
+  return capacities;
+}
 
 void Harness::set_terminal_observer(
     std::function<void(const condor::JobRecord&)> observer) {

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/admission.hpp"
 #include "cluster/experiment.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -110,6 +111,11 @@ class Harness {
   /// Jobs sitting in the schedd's pending queue right now (submitted,
   /// not yet matched) — the service mode's admission queue depth.
   [[nodiscard]] std::size_t jobs_pending() const;
+
+  /// Declared-free capacity of every coprocessor (node id, then device
+  /// id), from the middleware's reservation ledger — the snapshot the
+  /// admission controller's packer consult packs against.
+  [[nodiscard]] std::vector<DeviceCapacity> device_capacities() const;
 
   /// Observer invoked on every terminal job transition (completed or
   /// failed) with the job's final record — the hook the service mode's

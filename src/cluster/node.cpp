@@ -77,6 +77,8 @@ classad::ClassAd Node::machine_ad() const {
   ad.insert_integer(condor::kAttrFreeSlots, free_slots());
   ad.insert_integer(condor::kAttrPhiDevices, device_count());
   ad.insert_integer(condor::kAttrPhiHwThreads, config_.hw.phi.hw_threads());
+  ad.insert_integer(condor::kAttrPhiTotalMemory,
+                    config_.hw.phi.usable_memory_mib());
   ad.insert_integer(condor::kAttrPhiFreeDevices, free_exclusive_devices());
 
   MiB best_free = 0;

@@ -96,8 +96,13 @@ void Service::schedule_arrival(SimTime t) {
 
 void Service::offer(workload::JobSpec job, SimTime offer_time,
                     int defers_so_far, std::size_t tenant) {
-  const AdmissionState state{harness_.jobs_pending(), occupied_threads_,
-                             thread_capacity_};
+  AdmissionState state;
+  state.queue_depth = harness_.jobs_pending();
+  state.occupied_threads = occupied_threads_;
+  state.thread_capacity = thread_capacity_;
+  if (config_.admission.consult_packer) {
+    state.devices = harness_.device_capacities();
+  }
   switch (admission_.decide(job, state, defers_so_far)) {
     case AdmissionDecision::kAdmit: {
       occupied_threads_ += declared_threads(job);
@@ -185,6 +190,8 @@ void Service::close_window(SimTime t_start, SimTime t_end) {
   m["t_end_s"] = t_end;
   m["offered"] = delta(a.offered, last_admission_.offered);
   m["admitted"] = delta(a.admitted, last_admission_.admitted);
+  m["admitted_by_pack"] =
+      delta(a.admitted_by_pack, last_admission_.admitted_by_pack);
   m["rejected_queue"] = delta(a.rejected_queue, last_admission_.rejected_queue);
   m["rejected_occupancy"] =
       delta(a.rejected_occupancy, last_admission_.rejected_occupancy);
@@ -319,6 +326,7 @@ std::string sla_report_json(const ServiceConfig& config,
   w.member("jobs_generated", static_cast<std::uint64_t>(result.jobs_generated));
   w.member("offered", result.admission.offered);
   w.member("admitted", result.admission.admitted);
+  w.member("admitted_by_pack", result.admission.admitted_by_pack);
   w.member("rejected_queue", result.admission.rejected_queue);
   w.member("rejected_occupancy", result.admission.rejected_occupancy);
   w.member("deferred", result.admission.deferred);

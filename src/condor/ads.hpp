@@ -26,6 +26,9 @@ inline constexpr const char* kAttrPhiFreeMemory = "PhiFreeMemory";
 inline constexpr const char* kAttrPhiFreeDevices = "PhiFreeDevices";
 /// Hardware threads per device (240 on the paper's cards).
 inline constexpr const char* kAttrPhiHwThreads = "PhiHwThreads";
+/// Usable card memory per device (MiB) — the capacity the occupancy
+/// thresholds of the batched strategy are fractions of.
+inline constexpr const char* kAttrPhiTotalMemory = "PhiTotalMemory";
 /// Per-device unreserved memory: PhiFreeMemory0, PhiFreeMemory1, ...
 [[nodiscard]] std::string per_device_memory_attr(DeviceId d);
 /// Per-device unreserved (declared) threads: PhiFreeThreads0, ...

@@ -1,7 +1,5 @@
 #include "condor/negotiator.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "condor/ads.hpp"
@@ -15,7 +13,8 @@ Negotiator::Negotiator(Simulator& sim, Schedd& schedd, Collector& collector,
       collector_(collector),
       dispatch_(std::move(dispatch)),
       config_(config),
-      rng_(rng) {
+      rng_(rng),
+      strategy_(make_match_strategy(config.negotiation)) {
   PHISCHED_REQUIRE(dispatch_ != nullptr, "Negotiator: null dispatch callback");
   PHISCHED_REQUIRE(config_.cycle_interval > 0.0,
                    "Negotiator: cycle interval must be positive");
@@ -34,6 +33,13 @@ void Negotiator::attach_telemetry(obs::Recorder& recorder,
   obs_.pending_age_hist =
       &m.histogram(prefix + ".pending_age_hist", 0.0, 600.0, 24);
   obs_.pending_jobs->set(sim_.now(), 0.0);
+  if (strategy_->kind() == MatchStrategyKind::kBatch) {
+    obs_.batch_jobs = &m.counter(prefix + ".batch_jobs");
+    obs_.packed = &m.counter(prefix + ".packed");
+    obs_.occupancy_rejected = &m.counter(prefix + ".occupancy_rejected");
+    obs_.match_latency =
+        &m.histogram(prefix + ".match_latency", 0.0, 600.0, 24);
+  }
 }
 
 void Negotiator::start() {
@@ -43,22 +49,6 @@ void Negotiator::start() {
 
 void Negotiator::stop() { timer_.reset(); }
 
-void Negotiator::deduct(classad::ClassAd& machine, const classad::ClassAd& job,
-                        bool custom_resources) {
-  auto deduct_attr = [&](const char* machine_attr, const char* job_attr,
-                         std::int64_t fallback) {
-    if (!machine.has(machine_attr)) return;
-    const auto have = machine.eval_integer(machine_attr).value_or(0);
-    const auto want = job.eval_integer(job_attr).value_or(fallback);
-    machine.insert_integer(machine_attr, have - want);
-  };
-  deduct_attr(kAttrFreeSlots, "RequestSlots", 1);
-  if (custom_resources) {
-    deduct_attr(kAttrPhiFreeMemory, kAttrRequestPhiMemory, 0);
-    deduct_attr(kAttrPhiFreeDevices, kAttrRequestPhiDevices, 1);
-  }
-}
-
 void Negotiator::run_cycle() {
   ++stats_.cycles;
   if (pre_cycle_) pre_cycle_();
@@ -66,8 +56,6 @@ void Negotiator::run_cycle() {
   auto machines = collector_.machine_ads();
   std::vector<JobId> pending = schedd_.pending();
 
-  const std::uint64_t matches_before = stats_.matches;
-  const std::uint64_t rejected_before = stats_.rejected_dispatches;
   if (obs_.rec != nullptr) {
     obs_.cycles->inc();
     obs_.pending_jobs->set(sim_.now(), static_cast<double>(pending.size()));
@@ -78,75 +66,50 @@ void Negotiator::run_cycle() {
     }
   }
 
-  // Higher JobPrio first; FIFO (the schedd's order) within equal
-  // priorities. Jobs without the attribute have priority 0. Priorities
-  // are evaluated once per job per cycle.
-  std::vector<std::pair<std::int64_t, JobId>> ordered;
-  ordered.reserve(pending.size());
-  for (JobId id : pending) {
-    ordered.emplace_back(
-        schedd_.record(id).ad.eval_integer(kAttrJobPrio).value_or(0), id);
-  }
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const auto& a, const auto& b) { return a.first > b.first; });
-  pending.clear();
-  for (const auto& [prio, id] : ordered) pending.push_back(id);
+  pending = ordered_pending(schedd_, std::move(pending));
 
-  for (JobId job_id : pending) {
-    const JobRecord& rec = schedd_.record(job_id);
-    if (rec.state != JobState::kPending) continue;  // hook may have acted
-    const classad::ClassAd& job_ad = rec.ad;
+  MatchCycle cycle{schedd_,
+                   rng_,
+                   config_.order,
+                   config_.deduct_custom_resources,
+                   machines,
+                   pending,
+                   dispatch_,
+                   sim_.now(),
+                   obs_.match_latency != nullptr};
+  const CycleOutcome outcome = strategy_->run(cycle);
 
-    // Candidate machines whose ads match the job both ways.
-    std::vector<std::size_t> candidates;
-    for (std::size_t m = 0; m < machines.size(); ++m) {
-      if (classad::symmetric_match(job_ad, machines[m].second)) {
-        candidates.push_back(m);
-      }
-    }
-    if (candidates.empty()) continue;
-
-    std::size_t chosen = candidates.front();
-    switch (config_.order) {
-      case MachineOrder::kFirstFit:
-        break;
-      case MachineOrder::kRandom:
-        chosen = candidates[rng_.index(candidates.size())];
-        break;
-      case MachineOrder::kBestRank: {
-        double best_rank = classad::eval_rank(job_ad, machines[chosen].second);
-        for (std::size_t m : candidates) {
-          const double rank =
-              classad::eval_rank(job_ad, machines[m].second);
-          if (rank > best_rank) {
-            best_rank = rank;
-            chosen = m;
-          }
-        }
-        break;
-      }
-    }
-
-    const NodeId node = machines[chosen].first;
-    schedd_.mark_matched(job_id, node);
-    if (dispatch_(job_id, node)) {
-      ++stats_.matches;
-      deduct(machines[chosen].second, job_ad, config_.deduct_custom_resources);
-    } else {
-      ++stats_.rejected_dispatches;
-      schedd_.release_match(job_id);
-    }
-  }
+  stats_.matches += outcome.matches;
+  stats_.rejected_dispatches += outcome.rejected_dispatches;
+  stats_.batch_jobs += outcome.batch_jobs;
+  stats_.packed += outcome.packed;
+  stats_.occupancy_rejected += outcome.occupancy_rejected;
 
   if (obs_.rec != nullptr) {
-    const std::uint64_t matched = stats_.matches - matches_before;
-    const std::uint64_t rejected = stats_.rejected_dispatches - rejected_before;
-    obs_.matches->inc(matched);
-    obs_.rejected_dispatches->inc(rejected);
-    obs_.rec->event(sim_.now(), "negotiation_cycle",
-                    {{"pending", std::to_string(pending.size())},
-                     {"matched", std::to_string(matched)},
-                     {"rejected", std::to_string(rejected)}});
+    obs_.matches->inc(outcome.matches);
+    obs_.rejected_dispatches->inc(outcome.rejected_dispatches);
+    if (strategy_->kind() == MatchStrategyKind::kBatch) {
+      obs_.batch_jobs->inc(outcome.batch_jobs);
+      obs_.packed->inc(outcome.packed);
+      obs_.occupancy_rejected->inc(outcome.occupancy_rejected);
+      for (const SimTime latency : outcome.match_latencies) {
+        obs_.match_latency->add(latency);
+      }
+      obs_.rec->event(
+          sim_.now(), "negotiation_cycle",
+          {{"pending", std::to_string(pending.size())},
+           {"matched", std::to_string(outcome.matches)},
+           {"rejected", std::to_string(outcome.rejected_dispatches)},
+           {"batch", std::to_string(outcome.batch_jobs)},
+           {"packed", std::to_string(outcome.packed)},
+           {"occ_rejected", std::to_string(outcome.occupancy_rejected)}});
+    } else {
+      obs_.rec->event(
+          sim_.now(), "negotiation_cycle",
+          {{"pending", std::to_string(pending.size())},
+           {"matched", std::to_string(outcome.matches)},
+           {"rejected", std::to_string(outcome.rejected_dispatches)}});
+    }
   }
 }
 

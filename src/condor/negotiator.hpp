@@ -1,13 +1,15 @@
-// The negotiator: periodic FIFO matchmaking between pending jobs and
-// machine ads (Section II-D).
+// The negotiator: periodic matchmaking between pending jobs and machine
+// ads (Section II-D).
 //
-// Each negotiation cycle snapshots the machine ads, walks pending jobs in
-// FIFO order, and matches each against candidate machines with the
-// two-way ClassAd Requirements check. A successful claim deducts the
-// job's requested resources from the cycle-local copy of the machine ad
-// (so one cycle can pack several jobs onto a node without oversubscribing
-// the advertisement) and hands the (job, node) pair to the dispatch
-// callback, which models the shadow/starter launch path.
+// Each negotiation cycle snapshots the machine ads, orders pending jobs
+// (priority, then FIFO), and hands both to the configured MatchStrategy
+// (see condor/strategy.hpp): the default FifoStrategy walks jobs one at a
+// time exactly like stock Condor; BatchStrategy drains a batch and solves
+// its placement jointly under occupancy thresholds. A successful claim
+// deducts the job's requested resources from the cycle-local copy of the
+// machine ad (so one cycle can pack several jobs onto a node without
+// oversubscribing the advertisement) and hands the (job, node) pair to
+// the dispatch callback, which models the shadow/starter launch path.
 //
 // The optional pre-cycle hook is the integration point for the paper's
 // sharing-aware add-on: it runs right before matchmaking, exactly like the
@@ -22,20 +24,11 @@
 #include "common/rng.hpp"
 #include "condor/collector.hpp"
 #include "condor/schedd.hpp"
+#include "condor/strategy.hpp"
 #include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace phisched::condor {
-
-/// How the negotiator orders candidate machines for each job.
-enum class MachineOrder {
-  kFirstFit,  ///< lowest node id that matches
-  kRandom,    ///< uniformly random matching machine (the paper's MCC:
-              ///< "jobs are selected randomly at the cluster level")
-  kBestRank,  ///< machine maximizing the job ad's Rank expression
-              ///< (Condor's preference mechanism); ties go to the lowest
-              ///< node id, jobs without Rank behave like kFirstFit
-};
 
 struct NegotiatorConfig {
   SimTime cycle_interval = 10.0;
@@ -49,12 +42,19 @@ struct NegotiatorConfig {
   /// model the paper's stock Condor (MC/MCC); the sharing-aware add-on
   /// does its own consistent accounting and does not need this either.
   bool deduct_custom_resources = false;
+  /// Which matchmaking strategy runs the cycle (default: the paper's
+  /// per-job FIFO walk).
+  NegotiationConfig negotiation;
 };
 
 struct NegotiatorStats {
   std::uint64_t cycles = 0;
   std::uint64_t matches = 0;
   std::uint64_t rejected_dispatches = 0;
+  /// Batch-strategy counters; stay zero under FifoStrategy.
+  std::uint64_t batch_jobs = 0;
+  std::uint64_t packed = 0;
+  std::uint64_t occupancy_rejected = 0;
 };
 
 class Negotiator {
@@ -82,11 +82,17 @@ class Negotiator {
   void run_cycle();
 
   [[nodiscard]] const NegotiatorStats& stats() const { return stats_; }
+  [[nodiscard]] MatchStrategyKind strategy_kind() const {
+    return strategy_->kind();
+  }
 
   /// Registers matchmaking instruments under `prefix` (e.g.
   /// "condor.negotiator"): cycle/match/rejection counters, the
   /// pending-queue depth series, the pending-age distribution, and one
-  /// "negotiation_cycle" event per cycle.
+  /// "negotiation_cycle" event per cycle. A batch-strategy negotiator
+  /// additionally registers the batch_jobs / packed / occupancy_rejected
+  /// counters and the match_latency histogram — only then, so the FIFO
+  /// default exports byte-identical JSON to the pre-strategy negotiator.
   void attach_telemetry(obs::Recorder& recorder, const std::string& prefix);
 
  private:
@@ -100,11 +106,12 @@ class Negotiator {
     obs::TimeSeriesGauge* pending_jobs = nullptr;
     obs::Gauge* pending_age_max_s = nullptr;
     obs::ValueHistogram* pending_age_hist = nullptr;
+    // Batch-only instruments (null under FifoStrategy).
+    obs::Counter* batch_jobs = nullptr;
+    obs::Counter* packed = nullptr;
+    obs::Counter* occupancy_rejected = nullptr;
+    obs::ValueHistogram* match_latency = nullptr;
   };
-
-  /// Deducts the job's requests from a cycle-local machine ad copy.
-  static void deduct(classad::ClassAd& machine, const classad::ClassAd& job,
-                     bool custom_resources);
 
   Simulator& sim_;
   Schedd& schedd_;
@@ -112,6 +119,7 @@ class Negotiator {
   DispatchFn dispatch_;
   NegotiatorConfig config_;
   Rng rng_;
+  std::unique_ptr<MatchStrategy> strategy_;
   std::function<void()> pre_cycle_;
   std::unique_ptr<PeriodicTimer> timer_;
   NegotiatorStats stats_;

@@ -1,0 +1,71 @@
+#include "knapsack/batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace phisched::knapsack {
+
+BatchPacker::BatchPacker(SolverKind backend)
+    : kind_(backend), solver_(make_solver(backend)) {}
+
+BatchResult BatchPacker::pack(const BatchProblem& problem) const {
+  BatchResult result;
+  const std::size_t n = problem.jobs.size();
+  std::vector<bool> placed(n, false);
+
+  for (const BatchJob& job : problem.jobs) {
+    for (const std::size_t bin : job.eligible) {
+      PHISCHED_REQUIRE(bin < problem.bins.size(),
+                       "BatchPacker: eligibility index out of range");
+    }
+  }
+
+  for (std::size_t b = 0; b < problem.bins.size(); ++b) {
+    const BatchBin& bin = problem.bins[b];
+    if (bin.mem_capacity_mib <= 0 || bin.thread_capacity <= 0) continue;
+
+    // Still-unplaced jobs eligible for this bin, in batch order (the
+    // caller's priority order), so equal-value ties keep that order
+    // through the solvers' stable pick rules.
+    Problem sub;
+    std::vector<std::size_t> job_of_item;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (placed[j]) continue;
+      const BatchJob& job = problem.jobs[j];
+      if (!std::binary_search(job.eligible.begin(), job.eligible.end(), b)) {
+        continue;
+      }
+      Item item;
+      item.weight_mib = job.mem_mib;
+      item.threads = job.threads;
+      item.value = job.value;
+      item.tag = job_of_item.size();
+      sub.items.push_back(item);
+      job_of_item.push_back(j);
+    }
+    if (sub.items.empty()) continue;
+    sub.capacity_mib = bin.mem_capacity_mib;
+    sub.thread_capacity = bin.thread_capacity;
+    sub.quantum_mib = problem.quantum_mib;
+
+    const Solution solution = solver_->solve(sub);
+    for (const std::size_t pick : solution.picks) {
+      const std::size_t j = job_of_item[pick];
+      placed[j] = true;
+      result.placed.push_back(BatchPlacement{problem.jobs[j].tag, b});
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (placed[j]) continue;
+    if (problem.jobs[j].eligible.empty()) {
+      result.unmatchable.push_back(problem.jobs[j].tag);
+    } else {
+      result.rejected.push_back(problem.jobs[j].tag);
+    }
+  }
+  return result;
+}
+
+}  // namespace phisched::knapsack

@@ -1,0 +1,82 @@
+// Per-batch placement: pack a SET of jobs onto a snapshot of per-device
+// capacity, generalizing the single-knapsack solvers from "which jobs fit
+// one coprocessor" to "where does this cycle's whole batch go".
+//
+// The packer visits bins (devices) in ascending order and solves one 0-1
+// knapsack per bin over the still-unplaced jobs eligible for it, reusing
+// any Solver backend (greedy / dp2d / bnb / dp1d) interchangeably. The
+// result is a deterministic assignment — a pure function of the problem
+// instance, independent of memory addresses, hash order, or wall clock —
+// plus the rejected remainder, split into jobs that had an eligible bin
+// but no capacity (occupancy-gated) and jobs no bin could ever take.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "knapsack/solver.hpp"
+
+namespace phisched::knapsack {
+
+/// One placement target: a coprocessor's packable budget for this cycle.
+/// Capacities are the *admissible* remainder (already net of residents
+/// and any occupancy-threshold headroom the caller withheld).
+struct BatchBin {
+  MiB mem_capacity_mib = 0;
+  ThreadCount thread_capacity = 0;
+};
+
+/// One job in the batch. `eligible` lists the indices of the bins this
+/// job may be placed on (ascending; matchmaking constraints live here),
+/// independent of whether capacity suffices.
+struct BatchJob {
+  std::size_t tag = 0;  ///< caller identifier, echoed in the result
+  MiB mem_mib = 0;
+  ThreadCount threads = 0;
+  double value = 1.0;
+  std::vector<std::size_t> eligible;
+};
+
+struct BatchProblem {
+  std::vector<BatchJob> jobs;
+  std::vector<BatchBin> bins;
+  /// Memory quantization grid for the per-bin DP solvers.
+  MiB quantum_mib = 50;
+};
+
+struct BatchPlacement {
+  std::size_t job_tag = 0;
+  std::size_t bin = 0;  ///< index into BatchProblem::bins
+};
+
+struct BatchResult {
+  /// Deterministic order: ascending bin, then the solver's pick order
+  /// (ascending job index) within each bin.
+  std::vector<BatchPlacement> placed;
+  /// Tags of jobs with at least one eligible bin but no placement — the
+  /// capacity/occupancy rejects that retry next cycle.
+  std::vector<std::size_t> rejected;
+  /// Tags of jobs whose eligibility list was empty: no bin can ever take
+  /// them this cycle regardless of capacity.
+  std::vector<std::size_t> unmatchable;
+};
+
+class BatchPacker {
+ public:
+  explicit BatchPacker(SolverKind backend);
+
+  /// Packs the batch. Eligibility indices must be in range and ascending;
+  /// capacities may be zero (the bin then takes nothing).
+  [[nodiscard]] BatchResult pack(const BatchProblem& problem) const;
+
+  [[nodiscard]] SolverKind backend() const { return kind_; }
+  [[nodiscard]] std::string backend_name() const { return solver_->name(); }
+
+ private:
+  SolverKind kind_;
+  std::unique_ptr<Solver> solver_;
+};
+
+}  // namespace phisched::knapsack

@@ -18,6 +18,15 @@ const char* solver_kind_name(SolverKind kind) {
   return "?";
 }
 
+SolverKind solver_kind_from_name(const std::string& name) {
+  if (name == "dp1d") return SolverKind::kDp1D;
+  if (name == "dp2d") return SolverKind::kDp2D;
+  if (name == "bnb") return SolverKind::kBranchAndBound;
+  if (name == "greedy") return SolverKind::kGreedyDensity;
+  throw std::invalid_argument("unknown solver '" + name +
+                              "' (greedy | dp1d | dp2d | bnb)");
+}
+
 std::unique_ptr<Solver> make_solver(SolverKind kind) {
   switch (kind) {
     case SolverKind::kDp1D: return std::make_unique<Dp1DSolver>();

@@ -37,6 +37,9 @@ enum class SolverKind {
 };
 
 [[nodiscard]] const char* solver_kind_name(SolverKind kind);
+/// Inverse of solver_kind_name ("dp1d" | "dp2d" | "bnb" | "greedy");
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] SolverKind solver_kind_from_name(const std::string& name);
 [[nodiscard]] std::unique_ptr<Solver> make_solver(SolverKind kind);
 
 }  // namespace phisched::knapsack

@@ -10,16 +10,28 @@
 namespace phisched::cluster {
 namespace {
 
-workload::JobSpec job_with(ThreadCount threads, int devices = 1) {
+workload::JobSpec job_with(ThreadCount threads, int devices = 1,
+                           MiB mem = 0) {
   workload::JobSpec job;
   job.threads_req = threads;
   job.devices_req = devices;
+  job.mem_req_mib = mem;
   return job;
+}
+
+AdmissionState state_of(std::size_t queue, double occupied, double capacity,
+                        std::vector<DeviceCapacity> devices = {}) {
+  AdmissionState state;
+  state.queue_depth = queue;
+  state.occupied_threads = occupied;
+  state.thread_capacity = capacity;
+  state.devices = std::move(devices);
+  return state;
 }
 
 TEST(Admission, UnboundedConfigAdmitsEverything) {
   AdmissionController ctl(AdmissionConfig{});
-  const AdmissionState state{1000, 1e9, 1.0};
+  const AdmissionState state = state_of(1000, 1e9, 1.0);
   for (int i = 0; i < 5; ++i) {
     EXPECT_EQ(ctl.decide(job_with(240), state, 0), AdmissionDecision::kAdmit);
   }
@@ -32,9 +44,9 @@ TEST(Admission, QueueDepthGateRejects) {
   AdmissionConfig config;
   config.max_queue_depth = 10;
   AdmissionController ctl(config);
-  EXPECT_EQ(ctl.decide(job_with(60), {9, 0.0, 960.0}, 0),
+  EXPECT_EQ(ctl.decide(job_with(60), state_of(9, 0.0, 960.0), 0),
             AdmissionDecision::kAdmit);
-  EXPECT_EQ(ctl.decide(job_with(60), {10, 0.0, 960.0}, 0),
+  EXPECT_EQ(ctl.decide(job_with(60), state_of(10, 0.0, 960.0), 0),
             AdmissionDecision::kReject);
   EXPECT_EQ(ctl.stats().rejected_queue, 1u);
   EXPECT_EQ(ctl.stats().rejected_occupancy, 0u);
@@ -46,10 +58,10 @@ TEST(Admission, OccupancyGateCountsDeclaredGangThreads) {
   config.max_occupancy = 0.5;  // of 960 threads = 480
   AdmissionController ctl(config);
   // 300 occupied + 120 declared = 420 < 480: admit.
-  EXPECT_EQ(ctl.decide(job_with(120), {0, 300.0, 960.0}, 0),
+  EXPECT_EQ(ctl.decide(job_with(120), state_of(0, 300.0, 960.0), 0),
             AdmissionDecision::kAdmit);
   // Gang of 2 devices doubles the declaration: 300 + 240 > 480: reject.
-  EXPECT_EQ(ctl.decide(job_with(120, 2), {0, 300.0, 960.0}, 0),
+  EXPECT_EQ(ctl.decide(job_with(120, 2), state_of(0, 300.0, 960.0), 0),
             AdmissionDecision::kReject);
   EXPECT_EQ(ctl.stats().rejected_occupancy, 1u);
 }
@@ -60,7 +72,7 @@ TEST(Admission, DeferBudgetThenDrop) {
   config.defer_delay_s = 10.0;
   config.max_defers = 2;
   AdmissionController ctl(config);
-  const AdmissionState full{1, 0.0, 960.0};
+  const AdmissionState full = state_of(1, 0.0, 960.0);
   EXPECT_EQ(ctl.decide(job_with(60), full, 0), AdmissionDecision::kDefer);
   EXPECT_EQ(ctl.decide(job_with(60), full, 1), AdmissionDecision::kDefer);
   EXPECT_EQ(ctl.decide(job_with(60), full, 2), AdmissionDecision::kReject);
@@ -71,10 +83,86 @@ TEST(Admission, DeferBudgetThenDrop) {
   EXPECT_EQ(ctl.stats().rejected_total(), 1u);
 
   // A deferred job admitted on retry counts once as deferred + admitted.
-  EXPECT_EQ(ctl.decide(job_with(60), {0, 0.0, 960.0}, 1),
+  EXPECT_EQ(ctl.decide(job_with(60), state_of(0, 0.0, 960.0), 1),
             AdmissionDecision::kAdmit);
   EXPECT_EQ(ctl.stats().admitted, 1u);
   EXPECT_EQ(ctl.stats().offered, 4u);
+}
+
+TEST(Admission, PackerConsultOverrulesTheOccupancyGate) {
+  AdmissionConfig config;
+  config.max_occupancy = 0.5;  // of 960 threads = 480
+  config.consult_packer = true;
+  AdmissionController ctl(config);
+  // Aggregate gate says full (450 + 60 > 480), but one device has real
+  // headroom: the pack consult admits anyway.
+  const auto roomy = state_of(0, 450.0, 960.0, {{500, 20}, {8000, 120}});
+  EXPECT_EQ(ctl.decide(job_with(60, 1, 2000), roomy, 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.stats().admitted, 1u);
+  EXPECT_EQ(ctl.stats().admitted_by_pack, 1u);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 0u);
+
+  // Same gate verdict, but no device can take 60 threads + 2000 MiB:
+  // the consult agrees with the rejection.
+  const auto tight = state_of(0, 450.0, 960.0, {{500, 20}, {1000, 120}});
+  EXPECT_EQ(ctl.decide(job_with(60, 1, 2000), tight, 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 1u);
+  EXPECT_EQ(ctl.stats().admitted_by_pack, 1u);
+}
+
+TEST(Admission, PackerConsultNeverOverrulesTheQueueGate) {
+  AdmissionConfig config;
+  config.max_queue_depth = 4;
+  config.consult_packer = true;
+  AdmissionController ctl(config);
+  const auto queue_full = state_of(4, 0.0, 960.0, {{8000, 240}});
+  EXPECT_EQ(ctl.decide(job_with(60, 1, 100), queue_full, 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_queue, 1u);
+  EXPECT_EQ(ctl.stats().admitted_by_pack, 0u);
+}
+
+TEST(Admission, GangJobsStayWithTheAggregateVerdict) {
+  AdmissionConfig config;
+  config.max_occupancy = 0.5;
+  config.consult_packer = true;
+  AdmissionController ctl(config);
+  // A 2-device gang needs both coprocessors at once; the single-knapsack
+  // consult cannot model that, so the aggregate rejection stands even
+  // though each device individually has room.
+  const auto state = state_of(0, 400.0, 960.0, {{8000, 240}, {8000, 240}});
+  EXPECT_EQ(ctl.decide(job_with(120, 2, 100), state, 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 1u);
+  EXPECT_EQ(ctl.stats().admitted_by_pack, 0u);
+}
+
+TEST(Admission, EmptyDeviceSnapshotDisablesTheConsult) {
+  AdmissionConfig config;
+  config.max_occupancy = 0.5;
+  config.consult_packer = true;
+  AdmissionController ctl(config);
+  EXPECT_EQ(ctl.decide(job_with(120, 1, 100), state_of(0, 450.0, 960.0), 0),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().rejected_occupancy, 1u);
+}
+
+TEST(Admission, ConsultedRejectionStillDefers) {
+  AdmissionConfig config;
+  config.max_occupancy = 0.5;
+  config.consult_packer = true;
+  config.defer_delay_s = 10.0;
+  config.max_defers = 1;
+  AdmissionController ctl(config);
+  const auto tight = state_of(0, 450.0, 960.0, {{1000, 20}});
+  EXPECT_EQ(ctl.decide(job_with(60, 1, 2000), tight, 0),
+            AdmissionDecision::kDefer);
+  EXPECT_EQ(ctl.decide(job_with(60, 1, 2000), tight, 1),
+            AdmissionDecision::kReject);
+  EXPECT_EQ(ctl.stats().deferred, 1u);
+  EXPECT_EQ(ctl.stats().dropped, 1u);
 }
 
 TEST(Admission, RejectsInvalidConfigLoudly) {

@@ -1,0 +1,115 @@
+// Equivalence pin: the FifoStrategy extraction must be BIT-IDENTICAL to
+// the pre-strategy negotiator. The fingerprints below were captured from
+// the last commit before the MatchStrategy refactor (6 StackConfigs x 3
+// seeds, 60 uniform jobs on 4 nodes, full telemetry): exact result
+// doubles, event/cycle/match counts, and FNV-1a hashes of the exported
+// metrics and event-log JSON (byte-identical documents, not just equal
+// numbers). Any drift here means the refactor changed scheduling
+// behaviour — fix the code, do not re-capture the numbers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/harness.hpp"
+#include "obs/recorder.hpp"
+#include "workload/jobset.hpp"
+
+namespace phisched::cluster {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Golden {
+  StackConfig stack;
+  std::uint64_t seed;
+  double makespan;
+  double avg_core_utilization;
+  double device_energy_mj;
+  double mean_turnaround;
+  std::uint64_t events_processed;
+  std::uint64_t negotiation_cycles;
+  std::uint64_t matches;
+  std::size_t jobs_completed;
+  std::size_t jobs_failed;
+  std::uint64_t metrics_json_hash;
+  std::uint64_t events_json_hash;
+};
+
+constexpr StackConfig MC = StackConfig::kMC;
+constexpr StackConfig MCC = StackConfig::kMCC;
+constexpr StackConfig MCCK = StackConfig::kMCCK;
+constexpr StackConfig FF = StackConfig::kMCCFirstFit;
+constexpr StackConfig BF = StackConfig::kMCCBestFit;
+constexpr StackConfig OR = StackConfig::kMCCOracle;
+
+// Captured pre-refactor (commit 0cc737d), tools of record: the one-off
+// capture harness described in docs/negotiation.md.
+const Golden kGolden[] = {
+    {MC, 42ull, 1002.433745639875, 0.42047041849028233, 0.65819556725309147, 522.7387190032025, 913ull, 201ull, 60ull, 60, 0, 7018724164068072105ull, 4119839658327945813ull},
+    {MC, 7ull, 1070.3416606225985, 0.42926323516084308, 0.70673649316468734, 550.29295514064427, 971ull, 215ull, 60ull, 60, 0, 613811050054526279ull, 322906451738340025ull},
+    {MC, 1234ull, 1100.0329591479588, 0.40906182224714738, 0.71700804484743419, 558.85207868567397, 999ull, 221ull, 60ull, 60, 0, 1214553811783458750ull, 17235660756253896397ull},
+    {MCC, 42ull, 419.71126997172257, 0.74253321987923293, 0.33235422508534296, 230.90559833859541, 796ull, 84ull, 60ull, 60, 0, 12204511549629486352ull, 17143749283393671342ull},
+    {MCC, 7ull, 542.58846736977625, 0.67342081930550068, 0.41390641983907828, 297.50493765514892, 865ull, 109ull, 60ull, 60, 0, 13500335958335584622ull, 15402925458998223838ull},
+    {MCC, 1234ull, 612.69548645816656, 0.52313618925080096, 0.42871356992181414, 244.57160152446212, 901ull, 123ull, 60ull, 60, 0, 9200107947992462227ull, 10476323990193003585ull},
+    {MCCK, 42ull, 477.7953759114792, 0.55181381988521661, 0.34007649886969671, 186.22996235227455, 808ull, 96ull, 60ull, 60, 0, 16567593936554565269ull, 669043318167014729ull},
+    {MCCK, 7ull, 590.3416606225984, 0.54103592260005784, 0.41751033600061033, 222.58759078115281, 875ull, 119ull, 60ull, 60, 0, 3702292247737827008ull, 1105489296130018603ull},
+    {MCCK, 1234ull, 533.7253176496705, 0.51638758226024151, 0.37194398554816277, 190.10042356685119, 885ull, 107ull, 60ull, 60, 0, 910982751221430179ull, 18039167808751168263ull},
+    {FF, 42ull, 441.6885461973045, 0.71382172031189728, 0.34443099088792689, 221.17159287056626, 801ull, 89ull, 60ull, 60, 0, 12470771173824399718ull, 1392493431547982063ull},
+    {FF, 7ull, 515.21745777444346, 0.73560767229188451, 0.40648350396352517, 269.70742428357858, 860ull, 104ull, 60ull, 60, 0, 17462150870906993962ull, 17474525422537864061ull},
+    {FF, 1234ull, 448.2375810882877, 0.72460826302609083, 0.35156863404564637, 209.51390268498076, 868ull, 90ull, 60ull, 60, 0, 15351615719720140016ull, 10041176624774729808ull},
+    {BF, 42ull, 441.6885461973045, 0.71382172031189728, 0.34443099088792689, 221.17159287056626, 801ull, 89ull, 60ull, 60, 0, 12470771173824399718ull, 1392493431547982063ull},
+    {BF, 7ull, 531.09874540300541, 0.71371826675877159, 0.41413044573309482, 268.75560960637296, 863ull, 107ull, 60ull, 60, 0, 16157936373104266233ull, 4307892216272826617ull},
+    {BF, 1234ull, 452.08824292351676, 0.73270690928627313, 0.3561265918660918, 214.81803010356683, 869ull, 91ull, 60ull, 60, 0, 18227522501535831039ull, 7726502747911356273ull},
+    {OR, 42ull, 431.40654029035562, 0.73238839730735084, 0.33977714008445903, 243.67691158259157, 799ull, 87ull, 60ull, 60, 0, 4698755471091723853ull, 14952988512617526925ull},
+    {OR, 7ull, 500.87024492055946, 0.76422210980274452, 0.40118368599232357, 306.66623580091829, 857ull, 101ull, 60ull, 60, 0, 12303463475063398635ull, 153208867199159821ull},
+    {OR, 1234ull, 433.85952265774932, 0.76481678226780625, 0.34761824938736507, 247.67339249726436, 865ull, 87ull, 60ull, 60, 0, 3681184428807848931ull, 457117577990325971ull},
+};
+
+TEST(FifoEquivalence, BitIdenticalToPreStrategyNegotiator) {
+  for (const Golden& golden : kGolden) {
+    SCOPED_TRACE(std::string(stack_config_name(golden.stack)) + " seed " +
+                 std::to_string(golden.seed));
+    ExperimentConfig config;
+    config.node_count = 4;
+    config.stack = golden.stack;
+    config.seed = golden.seed;
+    config.telemetry = true;
+    // config.negotiation left at its default: FifoStrategy.
+    const auto jobs = workload::make_synthetic_jobset(
+        workload::Distribution::kUniform, 60, Rng(golden.seed).child("jobs"));
+
+    Harness harness(config);
+    harness.submit(jobs);
+    const ExperimentResult r = harness.run_to_completion();
+
+    // Exact doubles: any ULP of drift fails.
+    EXPECT_EQ(r.makespan, golden.makespan);
+    EXPECT_EQ(r.avg_core_utilization, golden.avg_core_utilization);
+    EXPECT_EQ(r.device_energy_mj, golden.device_energy_mj);
+    EXPECT_EQ(r.mean_turnaround, golden.mean_turnaround);
+    EXPECT_EQ(r.events_processed, golden.events_processed);
+    EXPECT_EQ(r.negotiation_cycles, golden.negotiation_cycles);
+    EXPECT_EQ(r.matches, golden.matches);
+    EXPECT_EQ(r.jobs_completed, golden.jobs_completed);
+    EXPECT_EQ(r.jobs_failed, golden.jobs_failed);
+
+    // Byte-identical exported telemetry: same instruments, same names,
+    // same values, same order. Catches accidental new metrics or event
+    // fields leaking into the FIFO path.
+    ASSERT_NE(r.telemetry, nullptr);
+    EXPECT_EQ(fnv1a(obs::metrics_json(r.telemetry->metrics)),
+              golden.metrics_json_hash);
+    EXPECT_EQ(fnv1a(obs::events_json(r.telemetry->events)),
+              golden.events_json_hash);
+  }
+}
+
+}  // namespace
+}  // namespace phisched::cluster

@@ -197,6 +197,77 @@ TEST_F(NegotiatorTest, FirstFitOrderAlwaysPicksLowestNode) {
   for (const auto& [job, node] : dispatched_) EXPECT_EQ(node, 0);
 }
 
+TEST_F(NegotiatorTest, BestRankBreaksTiesTowardLowestNodeId) {
+  // Regression: equal-Rank candidates must resolve to the LOWEST node id
+  // (the strictly-greater scan over candidates in ascending machine
+  // order), not whichever machine was seen last.
+  add_machine(0, 100, 4);    // rank 100
+  add_machine(1, 5000, 4);   // rank 5000 — tied best
+  add_machine(2, 5000, 4);   // rank 5000 — tied best, higher id
+  submit_job(1, 50, arbitrary_requirements());
+  schedd_.qedit_expr(1, "Rank", "TARGET.PhiFreeMemory");
+  NegotiatorConfig config;
+  config.order = MachineOrder::kBestRank;
+  auto negotiator = make(config);
+  negotiator.run_cycle();
+  ASSERT_EQ(dispatched_.size(), 1u);
+  EXPECT_EQ(dispatched_[0].second, 1);
+}
+
+TEST_F(NegotiatorTest, BestRankWithoutRankActsLikeFirstFit) {
+  add_machine(0, 100, 4);
+  add_machine(1, 5000, 4);
+  submit_job(1, 50, arbitrary_requirements());  // no Rank: all rank 0
+  NegotiatorConfig config;
+  config.order = MachineOrder::kBestRank;
+  auto negotiator = make(config);
+  negotiator.run_cycle();
+  ASSERT_EQ(dispatched_.size(), 1u);
+  EXPECT_EQ(dispatched_[0].second, 0);
+}
+
+TEST_F(NegotiatorTest, DeviceDeductionPreventsSameCycleOversubscription) {
+  // One advertised free device; two exclusive jobs in the same cycle.
+  collector_.advertise(0, [] {
+    classad::ClassAd ad;
+    ad.insert_string(kAttrName, machine_name(0));
+    ad.insert_integer(kAttrFreeSlots, 8);
+    ad.insert_integer(kAttrPhiFreeDevices, 1);
+    ad.insert_expr(kAttrRequirements, "MY.FreeSlots >= 1");
+    return ad;
+  });
+  submit_job(1, 100, exclusive_requirements());
+  submit_job(2, 100, exclusive_requirements());
+
+  NegotiatorConfig config;
+  config.deduct_custom_resources = true;
+  auto negotiator = make(config);
+  negotiator.run_cycle();
+  // Job 1 claims the device in the cycle-local ad copy; job 2 no longer
+  // matches TARGET.PhiFreeDevices >= 1 this cycle.
+  EXPECT_EQ(dispatched_.size(), 1u);
+  EXPECT_EQ(schedd_.pending_count(), 1u);
+}
+
+TEST_F(NegotiatorTest, StaleDeviceCountOversubscribesWithoutDeduction) {
+  // The vanilla-Condor contrast for the test above: custom attributes
+  // stay stale within the cycle, so both exclusive jobs match the single
+  // advertised device.
+  collector_.advertise(0, [] {
+    classad::ClassAd ad;
+    ad.insert_string(kAttrName, machine_name(0));
+    ad.insert_integer(kAttrFreeSlots, 8);
+    ad.insert_integer(kAttrPhiFreeDevices, 1);
+    ad.insert_expr(kAttrRequirements, "MY.FreeSlots >= 1");
+    return ad;
+  });
+  submit_job(1, 100, exclusive_requirements());
+  submit_job(2, 100, exclusive_requirements());
+  auto negotiator = make();
+  negotiator.run_cycle();
+  EXPECT_EQ(dispatched_.size(), 2u);
+}
+
 TEST_F(NegotiatorTest, RejectsBadConfig) {
   NegotiatorConfig config;
   config.cycle_interval = 0.0;

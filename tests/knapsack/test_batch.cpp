@@ -1,0 +1,180 @@
+#include "knapsack/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace phisched::knapsack {
+namespace {
+
+BatchJob job(std::size_t tag, MiB mem, ThreadCount threads,
+             std::vector<std::size_t> eligible, double value = 1.0) {
+  BatchJob j;
+  j.tag = tag;
+  j.mem_mib = mem;
+  j.threads = threads;
+  j.value = value;
+  j.eligible = std::move(eligible);
+  return j;
+}
+
+TEST(BatchPacker, PlacesEverythingWhenCapacitySuffices) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{4000, 200}, BatchBin{4000, 200}};
+  for (std::size_t t = 0; t < 4; ++t) {
+    problem.jobs.push_back(job(t, 1000, 50, {0, 1}));
+  }
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  EXPECT_EQ(result.placed.size(), 4u);
+  EXPECT_TRUE(result.rejected.empty());
+  EXPECT_TRUE(result.unmatchable.empty());
+}
+
+TEST(BatchPacker, SplitsRemainderIntoRejectedAndUnmatchable) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{1000, 100}};
+  problem.jobs = {
+      job(0, 900, 50, {0}),   // placed
+      job(1, 900, 50, {0}),   // eligible, no capacity left → rejected
+      job(2, 100, 10, {}),    // no eligible bin → unmatchable
+  };
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  ASSERT_EQ(result.placed.size(), 1u);
+  EXPECT_EQ(result.placed[0].job_tag, 0u);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], 1u);
+  ASSERT_EQ(result.unmatchable.size(), 1u);
+  EXPECT_EQ(result.unmatchable[0], 2u);
+}
+
+TEST(BatchPacker, RespectsEligibilityRestrictions) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{4000, 200}, BatchBin{4000, 200}};
+  problem.jobs = {job(0, 100, 10, {1}), job(1, 100, 10, {0})};
+  const BatchResult result = BatchPacker(SolverKind::kGreedyDensity).pack(problem);
+  ASSERT_EQ(result.placed.size(), 2u);
+  for (const BatchPlacement& p : result.placed) {
+    EXPECT_EQ(p.bin, p.job_tag == 0 ? 1u : 0u);
+  }
+}
+
+TEST(BatchPacker, ThreadBudgetConstrainsEachBin) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{8000, 100}};
+  problem.jobs = {job(0, 100, 60, {0}), job(1, 100, 60, {0})};
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  EXPECT_EQ(result.placed.size(), 1u);
+  EXPECT_EQ(result.rejected.size(), 1u);
+}
+
+TEST(BatchPacker, ZeroCapacityBinsTakeNothing) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{0, 100}, BatchBin{1000, 0}, BatchBin{1000, 100}};
+  problem.jobs = {job(0, 500, 50, {0, 1, 2})};
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  ASSERT_EQ(result.placed.size(), 1u);
+  EXPECT_EQ(result.placed[0].bin, 2u);
+}
+
+TEST(BatchPacker, PlacementOrderIsAscendingBins) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{1000, 100}, BatchBin{1000, 100}};
+  problem.jobs = {job(0, 800, 50, {0, 1}), job(1, 800, 50, {0, 1}),
+                  job(2, 100, 10, {0, 1})};
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  ASSERT_EQ(result.placed.size(), 3u);
+  for (std::size_t i = 1; i < result.placed.size(); ++i) {
+    EXPECT_LE(result.placed[i - 1].bin, result.placed[i].bin);
+  }
+}
+
+TEST(BatchPacker, DeterministicAcrossRepeatsAndBackends) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{5000, 216}, BatchBin{5000, 216},
+                  BatchBin{3000, 216}};
+  for (std::size_t t = 0; t < 12; ++t) {
+    problem.jobs.push_back(job(t, 400 + 300 * static_cast<MiB>(t % 5),
+                               30 + static_cast<ThreadCount>(10 * (t % 4)),
+                               {0, 1, 2}, 1.0 + 0.1 * static_cast<double>(t)));
+  }
+  for (const SolverKind kind :
+       {SolverKind::kGreedyDensity, SolverKind::kDp1D, SolverKind::kDp2D,
+        SolverKind::kBranchAndBound}) {
+    const BatchPacker packer(kind);
+    const BatchResult a = packer.pack(problem);
+    const BatchResult b = packer.pack(problem);
+    ASSERT_EQ(a.placed.size(), b.placed.size()) << solver_kind_name(kind);
+    for (std::size_t i = 0; i < a.placed.size(); ++i) {
+      EXPECT_EQ(a.placed[i].job_tag, b.placed[i].job_tag);
+      EXPECT_EQ(a.placed[i].bin, b.placed[i].bin);
+    }
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.unmatchable, b.unmatchable);
+  }
+}
+
+TEST(BatchPacker, PlacementsNeverOversubscribeABin) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{2500, 120}, BatchBin{1500, 90}};
+  for (std::size_t t = 0; t < 8; ++t) {
+    problem.jobs.push_back(
+        job(t, 300 + 250 * static_cast<MiB>(t % 4),
+            20 + static_cast<ThreadCount>(15 * (t % 3)),
+            {0, 1}));
+  }
+  for (const SolverKind kind : {SolverKind::kGreedyDensity, SolverKind::kDp2D,
+                                SolverKind::kBranchAndBound}) {
+    const BatchResult result = BatchPacker(kind).pack(problem);
+    std::vector<MiB> mem(problem.bins.size(), 0);
+    std::vector<ThreadCount> threads(problem.bins.size(), 0);
+    for (const BatchPlacement& p : result.placed) {
+      mem[p.bin] += problem.jobs[p.job_tag].mem_mib;
+      threads[p.bin] += problem.jobs[p.job_tag].threads;
+    }
+    for (std::size_t b = 0; b < problem.bins.size(); ++b) {
+      EXPECT_LE(mem[b], problem.bins[b].mem_capacity_mib)
+          << solver_kind_name(kind);
+      EXPECT_LE(threads[b], problem.bins[b].thread_capacity)
+          << solver_kind_name(kind);
+    }
+  }
+}
+
+TEST(BatchPacker, EachJobPlacedAtMostOnce) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{8000, 216}, BatchBin{8000, 216}};
+  for (std::size_t t = 0; t < 6; ++t) {
+    problem.jobs.push_back(job(t, 500, 40, {0, 1}));
+  }
+  const BatchResult result = BatchPacker(SolverKind::kDp2D).pack(problem);
+  std::vector<std::size_t> tags;
+  for (const BatchPlacement& p : result.placed) tags.push_back(p.job_tag);
+  std::sort(tags.begin(), tags.end());
+  EXPECT_TRUE(std::adjacent_find(tags.begin(), tags.end()) == tags.end());
+}
+
+TEST(BatchPacker, RejectsOutOfRangeEligibility) {
+  BatchProblem problem;
+  problem.bins = {BatchBin{1000, 100}};
+  problem.jobs = {job(0, 100, 10, {0, 7})};
+  EXPECT_THROW(BatchPacker(SolverKind::kDp2D).pack(problem),
+               std::invalid_argument);
+}
+
+TEST(BatchPacker, ReportsItsBackend) {
+  const BatchPacker packer(SolverKind::kBranchAndBound);
+  EXPECT_EQ(packer.backend(), SolverKind::kBranchAndBound);
+  EXPECT_FALSE(packer.backend_name().empty());
+}
+
+TEST(SolverKindFromName, RoundTripsAllBackends) {
+  for (const SolverKind kind : {SolverKind::kDp1D, SolverKind::kDp2D,
+                                SolverKind::kBranchAndBound,
+                                SolverKind::kGreedyDensity}) {
+    EXPECT_EQ(solver_kind_from_name(solver_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)solver_kind_from_name("simplex"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::knapsack

@@ -1,0 +1,19 @@
+// Lint fixture: pointer-key via the batch* filename scope. Lint fodder
+// for tests/lint_fixtures.cmake — never compiled. It lives OUTSIDE every
+// decision-path directory on purpose: the filename prefix alone must pull
+// it into scope, pinning the rule that batch-packing code
+// (src/knapsack/batch*) stays linted wherever it moves. Line numbers are
+// asserted by the test; append below the suppressed block only.
+#include <map>
+
+struct MachineAd {};
+
+struct PackState {
+  // Keying placements on ad addresses orders them by allocation, so the
+  // pack enumeration varies run to run.
+  std::map<MachineAd*, int> placements_;  // line 14: violation
+
+  // Address-identity memo: only ever probed by find(), never iterated.
+  // phisched-lint: allow(pointer-key)
+  std::map<MachineAd*, int> memo_;  // line 18: suppressed
+};

@@ -1,0 +1,37 @@
+// Lint fixture: unordered-iter via the strategy* filename scope. Lint
+// fodder for tests/lint_fixtures.cmake — never compiled. It lives OUTSIDE
+// every decision-path directory on purpose: the filename prefix alone must
+// pull it into scope, pinning the rule that matchmaking-strategy code
+// (src/condor/strategy*) stays linted wherever it moves. Line numbers are
+// asserted by the test; append below the suppressed block only.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Candidate {
+  std::uint64_t job = 0;
+  double rank = 0.0;
+};
+
+struct MatchTable {
+  std::unordered_map<std::uint64_t, Candidate> by_job_;
+
+  // Picking the first acceptable candidate in hash order makes the match
+  // depend on the map's bucket layout — a decision-path hazard.
+  Candidate first_match() const {
+    for (const auto& [job, cand] : by_job_) {  // line 22: violation
+      if (cand.rank > 0.0) return cand;
+    }
+    return Candidate{};
+  }
+
+  double total_rank() const {
+    double sum = 0.0;
+    // Commutative fold: no ordering can leak into the result.
+    // phisched-lint: allow(unordered-iter)
+    for (const auto& [job, cand] : by_job_) {  // line 32: suppressed
+      sum += cand.rank;
+    }
+    return sum;
+  }
+};

@@ -42,6 +42,15 @@ options:
   --seed N              experiment + workload seed (default 42)
   --arrival-rate R      Poisson arrivals at R jobs/s instead of a batch
   --negotiation-interval S   Condor cycle seconds (default 5)
+  --negotiation SPEC    matchmaking strategy per cycle (default fifo):
+                        fifo — the per-job FIFO walk
+                        batch[:size=K,occ=X,occ-mem=X,packer=NAME] —
+                        drain up to K pending jobs (default 16), pack
+                        them jointly with the NAME knapsack backend
+                        (greedy | dp1d | dp2d | bnb, default dp2d),
+                        admitting only placements that keep declared
+                        thread occupancy under X (default 0.9) and
+                        memory occupancy under occ-mem (default 1.0)
   --overcommit X        MCCK thread overcommit factor (default 1.5)
   --series              print a utilization sparkline (samples every 10 s)
   --csv PATH            append results as CSV to PATH
@@ -94,6 +103,11 @@ service mode (open-loop streaming arrivals, see docs/service.md):
   --admit-defer S       defer gated arrivals S seconds instead of
                         rejecting outright (default 0 = reject)
   --admit-max-defers N  defers per job before it is dropped (default 3)
+  --admit-packer NAME   consult a knapsack packer (greedy | dp1d | dp2d |
+                        bnb) before an occupancy rejection: admit anyway
+                        when some device can actually place the job
+                        (default off; scalar occupancy cannot see
+                        per-device fragmentation)
   --tenants N           attribute jobs round-robin-free to N tenants and
                         export per-tenant fairness gauges (default 1)
   --tenant-skew X       tenant k draws with weight (k+1)^-X (default 0)
@@ -158,6 +172,8 @@ cluster::ExperimentConfig cluster_config_from_args(const ArgParser& args,
   config.node_hw.phi_devices = static_cast<int>(args.get_int_or("devices", 1));
   config.seed = seed;
   config.negotiation_interval = args.get_real_or("negotiation-interval", 5.0);
+  config.negotiation =
+      condor::parse_negotiation(args.get_or("negotiation", "fifo"));
   config.addon.thread_overcommit = args.get_real_or("overcommit", 1.5);
   if (args.get_bool_or("series", false)) config.sample_interval = 10.0;
 
@@ -214,6 +230,10 @@ int run_serve(const ArgParser& args, std::uint64_t seed,
   config.admission.defer_delay_s = args.get_real_or("admit-defer", 0.0);
   config.admission.max_defers =
       static_cast<int>(args.get_int_or("admit-max-defers", 3));
+  if (const auto packer = args.get("admit-packer"); packer.has_value()) {
+    config.admission.consult_packer = true;
+    config.admission.packer = knapsack::solver_kind_from_name(*packer);
+  }
   config.job_factory = make_job_factory(workload_name);
 
   cluster::Service service(config);
@@ -276,13 +296,13 @@ int main(int argc, char** argv) {
     }
     const auto unknown = args.unknown(
         {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
-         "arrival-rate", "negotiation-interval", "overcommit", "series",
-         "csv", "save-jobs", "load-jobs", "metrics-out", "events-out",
-         "metrics-filter", "pcie-contention", "pcie-bandwidth",
+         "arrival-rate", "negotiation-interval", "negotiation", "overcommit",
+         "series", "csv", "save-jobs", "load-jobs", "metrics-out",
+         "events-out", "metrics-filter", "pcie-contention", "pcie-bandwidth",
          "pcie-switch", "pcie-switch-bandwidth", "parallel-shards", "serve",
          "arrivals", "horizon", "sla-interval", "sla-out", "admit-queue",
-         "admit-occupancy", "admit-defer", "admit-max-defers", "tenants",
-         "tenant-skew", "no-drain", "help"});
+         "admit-occupancy", "admit-defer", "admit-max-defers", "admit-packer",
+         "tenants", "tenant-skew", "no-drain", "help"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n",
                    unknown.front().c_str());

@@ -193,14 +193,18 @@ struct FileText {
 
 /// Directories whose contents count as "decision paths": code here feeds
 /// scheduling and event-ordering decisions, so iteration-order hazards are
-/// correctness bugs, not style. Files named sharded* qualify wherever they
-/// live — the parallel engine's merge is the single most order-sensitive
-/// code in the tree (its whole contract is reproducing the sequential
-/// total order), so moving such a file out of sim/ must not drop it from
-/// the lint's scope.
+/// correctness bugs, not style. Files named sharded*, strategy*, or batch*
+/// qualify wherever they live — the parallel engine's merge
+/// (sim/sharded*), the matchmaking strategies (condor/strategy*), and the
+/// batch packer (knapsack/batch*) all promise bit-identical decisions from
+/// a given snapshot, so moving such a file out of its directory must not
+/// drop it from the lint's scope.
 bool path_is_decision(const fs::path& p) {
   const std::string stem = p.filename().string();
-  if (stem.rfind("sharded", 0) == 0) return true;
+  if (stem.rfind("sharded", 0) == 0 || stem.rfind("strategy", 0) == 0 ||
+      stem.rfind("batch", 0) == 0) {
+    return true;
+  }
   for (const auto& part : p) {
     const std::string s = part.string();
     if (s == "sim" || s == "phi" || s == "cosmic" || s == "condor" ||
