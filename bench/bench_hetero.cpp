@@ -1,0 +1,129 @@
+// Interference-aware placement on a mixed-generation fleet: each node
+// carries one 3120A and one 7120P (different memory, thread and
+// bandwidth budgets), the memory-bandwidth contention model is ON, and
+// half the workload is streaming jobs with large declared bandwidth
+// shares. MCCK runs twice per seed — interference-aware (the add-on
+// sees each card's PhiFreeBandwidth headroom) vs interference-blind
+// (AddonConfig::bandwidth_aware = false, the pre-capability behaviour) —
+// and the golden records both plus their makespan ratio.
+//
+// Like bench_batch, every metric is a deterministic simulation output:
+// the CI gate (tests/bench_hetero_gate.cmake) diffs the regenerated
+// report against bench/golden/BENCH_hetero.json, and this harness
+// hard-fails if an aware run diverges from its own repeat, so the perf
+// gate doubles as the heterogeneity determinism check.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "phi/capability.hpp"
+#include "workload/jobset.hpp"
+
+namespace {
+
+using namespace phisched;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kJobs = 120;
+constexpr const char* kFleet = "1x3120A+1x7120P";
+/// Streaming jobs declare most of a 3120A's saturation budget
+/// (0.5 * 245760 = 122880 MiB/s), so a blind packer that stacks two of
+/// them on the small card runs it deep into contention.
+constexpr double kStreamingBw = 80000.0;
+
+workload::JobSet make_streaming_jobs(std::uint64_t seed) {
+  workload::JobSet jobs = workload::make_synthetic_jobset(
+      workload::Distribution::kUniform, kJobs, Rng(seed).child("jobs"));
+  // Every other job is a streaming kernel; the rest keep the paper's
+  // two-number declaration (bw = 0 opts out of the contention ledger).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i % 2 == 0) jobs[i].mem_bw_mib_s = kStreamingBw;
+  }
+  return jobs;
+}
+
+cluster::ExperimentConfig hetero_config(std::uint64_t seed, bool aware) {
+  cluster::ExperimentConfig config =
+      bench::paper_cluster(cluster::StackConfig::kMCCK, kNodes, seed);
+  config.devices = phi::parse_device_spec(kFleet);
+  config.mem_bw.contention = true;
+  config.addon.bandwidth_aware = aware;
+  return config;
+}
+
+void require_identical(const cluster::ExperimentResult& a,
+                       const cluster::ExperimentResult& b, const char* what) {
+  const bool same = a.makespan == b.makespan &&
+                    a.avg_core_utilization == b.avg_core_utilization &&
+                    a.device_energy_mj == b.device_energy_mj &&
+                    a.mean_turnaround == b.mean_turnaround &&
+                    a.jobs_completed == b.jobs_completed &&
+                    a.jobs_failed == b.jobs_failed &&
+                    a.negotiation_cycles == b.negotiation_cycles &&
+                    a.matches == b.matches &&
+                    a.offloads_started == b.offloads_started &&
+                    a.events_processed == b.events_processed;
+  if (!same) {
+    std::fprintf(stderr,
+                 "bench_hetero: %s diverged (makespan %.17g vs %.17g, events "
+                 "%llu vs %llu)\n",
+                 what, b.makespan, a.makespan,
+                 static_cast<unsigned long long>(b.events_processed),
+                 static_cast<unsigned long long>(a.events_processed));
+    std::exit(1);
+  }
+}
+
+std::map<std::string, double> run_seed(std::uint64_t seed) {
+  std::map<std::string, double> m;
+  const workload::JobSet jobs = make_streaming_jobs(seed);
+
+  const auto aware = bench::run_stack(hetero_config(seed, true), jobs);
+  require_identical(aware, bench::run_stack(hetero_config(seed, true), jobs),
+                    "aware MCCK repeat");
+  const auto blind = bench::run_stack(hetero_config(seed, false), jobs);
+
+  m["hetero.aware.makespan_s"] = aware.makespan;
+  m["hetero.aware.mean_turnaround_s"] = aware.mean_turnaround;
+  m["hetero.aware.core_utilization"] = aware.avg_core_utilization;
+  m["hetero.aware.jobs_completed"] =
+      static_cast<double>(aware.jobs_completed);
+  m["hetero.blind.makespan_s"] = blind.makespan;
+  m["hetero.blind.mean_turnaround_s"] = blind.mean_turnaround;
+  m["hetero.blind.core_utilization"] = blind.avg_core_utilization;
+  m["hetero.blind.jobs_completed"] =
+      static_cast<double>(blind.jobs_completed);
+  // < 1.0 means interference awareness wins.
+  m["hetero.makespan_ratio"] = aware.makespan / blind.makespan;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phisched::bench;
+
+  if (run_json_mode(argc, argv, "hetero", run_seed)) return 0;
+
+  print_header("Interference-aware vs -blind MCCK on a mixed KNC fleet",
+               "heterogeneity extension (docs/heterogeneity.md)");
+
+  phisched::AsciiTable table({"Seed", "Mode", "Makespan (s)",
+                              "Mean turnaround (s)", "Utilization"});
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    const auto jobs = make_streaming_jobs(seed);
+    for (const bool aware : {true, false}) {
+      const auto r = run_stack(hetero_config(seed, aware), jobs);
+      table.add_row({std::to_string(seed),
+                     aware ? "aware" : "blind",
+                     phisched::AsciiTable::cell(r.makespan, 1),
+                     phisched::AsciiTable::cell(r.mean_turnaround, 1),
+                     pct(r.avg_core_utilization)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "cosmic/middleware.hpp"
 #include "core/policy.hpp"
 #include "obs/recorder.hpp"
+#include "phi/capability.hpp"
 #include "phi/pcie.hpp"
 #include "phi/pcie_switch.hpp"
 #include "workload/jobspec.hpp"
@@ -38,6 +39,16 @@ enum class StackConfig {
 struct ExperimentConfig {
   std::size_t node_count = 8;
   NodeHardware node_hw{};
+  /// Per-node device fleet for heterogeneous clusters (the --devices
+  /// spec, e.g. parse_device_spec("2x5110P+2x7120P")). Empty (default)
+  /// keeps the homogeneous node_hw path. Non-empty overrides
+  /// node_hw.phi_devices with its size; every node gets the same fleet.
+  std::vector<phi::DeviceCapability> devices;
+  /// Per-device memory-bandwidth contention (phi/capability.hpp). Off by
+  /// default so calibrated outputs stay bit-identical; when on, resident
+  /// containers' declared bandwidth shares slow offloads past each
+  /// card's saturation budget and placement becomes interference-aware.
+  phi::MemBwConfig mem_bw{};
   StackConfig stack = StackConfig::kMCCK;
 
   /// Condor negotiation cycle (Section IV-D1: decisions wait for it).

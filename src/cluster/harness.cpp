@@ -62,6 +62,11 @@ Harness::~Harness() = default;
 void Harness::build_nodes() {
   NodeConfig nc;
   nc.hw = config_.node_hw;
+  nc.devices = config_.devices;
+  if (!config_.devices.empty()) {
+    nc.hw.phi_devices = static_cast<int>(config_.devices.size());
+  }
+  nc.device.mem_bw = config_.mem_bw;
   nc.device.oversub_exponent = config_.oversub_exponent;
   nc.device.unmanaged_overlap_penalty = config_.unmanaged_overlap_penalty;
   nc.device.idle_spin_exponent = config_.idle_spin_exponent;

@@ -30,9 +30,14 @@ JobRun::JobRun(Simulator& sim, workload::JobSpec spec,
 void JobRun::arrive() {
   PHISCHED_REQUIRE(!arrived_, "JobRun: arrived twice");
   arrived_ = true;
+  cosmic::JobDeclaration decl;
+  decl.gang_size = spec_.devices_req;
+  decl.mem_per_device = spec_.mem_req_mib;
+  decl.threads = spec_.threads_req;
+  decl.base_memory = spec_.base_memory_mib;
+  decl.mem_bw_mib_s = spec_.mem_bw_mib_s;
   middleware_.submit_job(
-      spec_.id, devices_, spec_.devices_req, spec_.mem_req_mib,
-      spec_.threads_req, spec_.base_memory_mib,
+      spec_.id, devices_, decl,
       [this](JobId, phi::KillReason) { on_killed(); },
       [this] {
         admitted_ = true;

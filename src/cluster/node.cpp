@@ -8,15 +8,25 @@
 namespace phisched::cluster {
 
 Node::Node(Simulator& sim, NodeId id, NodeConfig config, Rng rng)
-    : sim_(sim), id_(id), config_(config) {
+    : sim_(sim), id_(id), config_(std::move(config)) {
+  if (!config_.devices.empty()) {
+    config_.hw.phi_devices = static_cast<int>(config_.devices.size());
+  }
   PHISCHED_REQUIRE(config_.hw.phi_devices > 0, "Node: need at least one device");
   PHISCHED_REQUIRE(config_.hw.slots > 0, "Node: need at least one slot");
   config_.device.hw = config_.hw.phi;
 
   std::vector<phi::Device*> raw;
   for (DeviceId d = 0; d < config_.hw.phi_devices; ++d) {
+    phi::DeviceConfig dc = config_.device;
+    if (!config_.devices.empty()) {
+      const auto& cap = config_.devices[static_cast<std::size_t>(d)];
+      dc.hw = cap.hw;
+      dc.capability = cap;
+      dc.pcie.bandwidth_mib_s = cap.link_bandwidth_mib_s;
+    }
     auto dev = std::make_unique<phi::Device>(
-        sim_, config_.device, rng.child("device" + std::to_string(d)),
+        sim_, dc, rng.child("device" + std::to_string(d)),
         "mic" + std::to_string(d) + "@" + condor::machine_name(id_));
     raw.push_back(dev.get());
     devices_.push_back(std::move(dev));
@@ -76,9 +86,22 @@ classad::ClassAd Node::machine_ad() const {
   ad.insert_integer(condor::kAttrTotalSlots, total_slots());
   ad.insert_integer(condor::kAttrFreeSlots, free_slots());
   ad.insert_integer(condor::kAttrPhiDevices, device_count());
-  ad.insert_integer(condor::kAttrPhiHwThreads, config_.hw.phi.hw_threads());
-  ad.insert_integer(condor::kAttrPhiTotalMemory,
-                    config_.hw.phi.usable_memory_mib());
+  // Node-level geometry is the max over the fleet so existing
+  // Requirements stay satisfiable on mixed nodes; per-device attributes
+  // below carry the exact per-card numbers.
+  ThreadCount max_hw_threads = 0;
+  MiB max_usable = 0;
+  std::vector<phi::DeviceCapability> caps;
+  for (DeviceId d = 0; d < device_count(); ++d) {
+    const phi::DeviceCapability& cap = device(d).capability();
+    max_hw_threads = std::max(max_hw_threads, cap.hw.hw_threads());
+    max_usable = std::max(max_usable, cap.hw.usable_memory_mib());
+    caps.push_back(cap);
+  }
+  ad.insert_integer(condor::kAttrPhiHwThreads, max_hw_threads);
+  ad.insert_integer(condor::kAttrPhiTotalMemory, max_usable);
+  ad.insert_string(condor::kAttrPhiGenerations,
+                   phi::device_spec_to_string(caps));
   ad.insert_integer(condor::kAttrPhiFreeDevices, free_exclusive_devices());
 
   MiB best_free = 0;
@@ -90,6 +113,21 @@ classad::ClassAd Node::machine_ad() const {
     // budget; schedulers need the raw value to account residents.
     ad.insert_integer(condor::per_device_threads_attr(d),
                       middleware_->unreserved_threads(d));
+    const phi::DeviceCapability& cap = caps[static_cast<std::size_t>(d)];
+    ad.insert_string(condor::per_device_generation_attr(d), cap.generation);
+    ad.insert_integer(condor::per_device_hw_threads_attr(d),
+                      cap.hw.hw_threads());
+    ad.insert_integer(condor::per_device_total_memory_attr(d),
+                      cap.hw.usable_memory_mib());
+    ad.insert_real(condor::per_device_link_bw_attr(d),
+                   cap.link_bandwidth_mib_s);
+    ad.insert_real(condor::per_device_mem_bw_attr(d), cap.mem_bandwidth_mib_s);
+    // Published raw (possibly negative under oversubscription) whenever
+    // the contention model is on; absent when it is off.
+    if (device(d).mem_bw_budget() >= 0.0) {
+      ad.insert_real(condor::per_device_free_bw_attr(d),
+                     middleware_->unreserved_bandwidth(d));
+    }
   }
   ad.insert_integer(condor::kAttrPhiFreeMemory, best_free);
   ad.insert_expr(condor::kAttrRequirements, "MY.FreeSlots >= 1");

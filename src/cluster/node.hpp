@@ -20,6 +20,13 @@ struct NodeConfig {
   /// Device behaviour knobs; the PhiHardware inside is overridden by
   /// hw.phi so there is a single source of truth.
   phi::DeviceConfig device{};
+  /// Per-device capabilities for a heterogeneous fleet (--devices spec).
+  /// Empty (the default) builds hw.phi_devices identical cards from
+  /// hw.phi; non-empty overrides hw.phi_devices with its size, and each
+  /// card takes its entry's geometry, generation, and bandwidths (the
+  /// entry's link bandwidth also feeds device.pcie when contention is
+  /// on). Behaviour knobs in `device` still apply to every card.
+  std::vector<phi::DeviceCapability> devices;
   /// Host-side PCIe switch above the per-card links. Requires
   /// device.pcie.contention when enabled.
   phi::PcieSwitchConfig pcie_switch{};

@@ -45,6 +45,8 @@ struct PhiHardware {
   [[nodiscard]] constexpr MiB usable_memory_mib() const {
     return memory_mib - os_reserved_mib;
   }
+
+  friend bool operator==(const PhiHardware&, const PhiHardware&) = default;
 };
 
 /// Static description of a compute node (host side).

@@ -10,6 +10,30 @@ std::string per_device_threads_attr(DeviceId d) {
   return "PhiFreeThreads" + std::to_string(d);
 }
 
+std::string per_device_generation_attr(DeviceId d) {
+  return "PhiGeneration" + std::to_string(d);
+}
+
+std::string per_device_hw_threads_attr(DeviceId d) {
+  return "PhiHwThreads" + std::to_string(d);
+}
+
+std::string per_device_total_memory_attr(DeviceId d) {
+  return "PhiTotalMemory" + std::to_string(d);
+}
+
+std::string per_device_link_bw_attr(DeviceId d) {
+  return "PhiLinkBandwidth" + std::to_string(d);
+}
+
+std::string per_device_mem_bw_attr(DeviceId d) {
+  return "PhiMemBandwidth" + std::to_string(d);
+}
+
+std::string per_device_free_bw_attr(DeviceId d) {
+  return "PhiFreeBandwidth" + std::to_string(d);
+}
+
 std::string machine_name(NodeId node) {
   return "node" + std::to_string(node);
 }
@@ -38,6 +62,9 @@ classad::ClassAd make_job_ad(const workload::JobSpec& job,
   ad.insert_integer(kAttrRequestPhiMemory, job.mem_req_mib);
   ad.insert_integer(kAttrRequestPhiThreads, job.threads_req);
   ad.insert_integer(kAttrRequestPhiDevices, job.devices_req);
+  if (job.mem_bw_mib_s > 0.0) {
+    ad.insert_real(kAttrRequestPhiMemBandwidth, job.mem_bw_mib_s);
+  }
   ad.insert_expr(kAttrRequirements, requirements);
   return ad;
 }

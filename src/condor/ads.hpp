@@ -29,16 +29,37 @@ inline constexpr const char* kAttrPhiHwThreads = "PhiHwThreads";
 /// Usable card memory per device (MiB) — the capacity the occupancy
 /// thresholds of the batched strategy are fractions of.
 inline constexpr const char* kAttrPhiTotalMemory = "PhiTotalMemory";
+/// Run-length device spec of the node's fleet ("2x5110P+2x7120P");
+/// "5110P" repeated per card on the homogeneous default.
+inline constexpr const char* kAttrPhiGenerations = "PhiGenerations";
 /// Per-device unreserved memory: PhiFreeMemory0, PhiFreeMemory1, ...
 [[nodiscard]] std::string per_device_memory_attr(DeviceId d);
 /// Per-device unreserved (declared) threads: PhiFreeThreads0, ...
 [[nodiscard]] std::string per_device_threads_attr(DeviceId d);
+/// Per-device generation name: PhiGeneration0 = "5110P", ...
+[[nodiscard]] std::string per_device_generation_attr(DeviceId d);
+/// Per-device hardware threads: PhiHwThreads0, ... (may differ per card
+/// on heterogeneous nodes; the node-level PhiHwThreads is the max).
+[[nodiscard]] std::string per_device_hw_threads_attr(DeviceId d);
+/// Per-device usable memory (MiB): PhiTotalMemory0, ...
+[[nodiscard]] std::string per_device_total_memory_attr(DeviceId d);
+/// Per-device PCIe link bandwidth (MiB/s): PhiLinkBandwidth0, ...
+[[nodiscard]] std::string per_device_link_bw_attr(DeviceId d);
+/// Per-device aggregate memory bandwidth (MiB/s): PhiMemBandwidth0, ...
+[[nodiscard]] std::string per_device_mem_bw_attr(DeviceId d);
+/// Per-device unreserved bandwidth budget (MiB/s): PhiFreeBandwidth0, ...
+/// Published only when the bandwidth-contention model is on.
+[[nodiscard]] std::string per_device_free_bw_attr(DeviceId d);
 
 // --- job-ad attributes --------------------------------------------------------
 inline constexpr const char* kAttrJobId = "JobId";
 inline constexpr const char* kAttrRequestPhiMemory = "RequestPhiMemory";
 inline constexpr const char* kAttrRequestPhiThreads = "RequestPhiThreads";
 inline constexpr const char* kAttrRequestPhiDevices = "RequestPhiDevices";
+/// Declared memory-bandwidth share (MiB/s); present only when the job
+/// declared one, so two-number paper jobs keep byte-identical ads.
+inline constexpr const char* kAttrRequestPhiMemBandwidth =
+    "RequestPhiMemBandwidth";
 inline constexpr const char* kAttrRequirements = "Requirements";
 /// Set by the sharing-aware add-on: device index the job must use.
 inline constexpr const char* kAttrPinnedDevice = "PinnedDevice";

@@ -1,7 +1,9 @@
 #include "condor/strategy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <set>
 
 #include "common/error.hpp"
 #include "condor/ads.hpp"
@@ -61,21 +63,29 @@ class FifoStrategy final : public MatchStrategy {
 struct DeviceBudget {
   MiB mem = 0;
   ThreadCount threads = 0;
+  /// Unreserved bandwidth headroom; < 0 when the machine does not
+  /// publish PhiFreeBandwidth<d> (contention model off).
+  double bw = -1.0;
 };
 
 DeviceBudget device_budget(const classad::ClassAd& machine, DeviceId d,
                            const BatchNegotiationConfig& config) {
+  // Heterogeneous fleets publish per-device geometry; the node-level
+  // attributes (the fleet max) remain the fallback for older ads.
   const auto hw = static_cast<ThreadCount>(
-      machine.eval_integer(kAttrPhiHwThreads).value_or(240));
+      machine.eval_integer(per_device_hw_threads_attr(d))
+          .value_or(machine.eval_integer(kAttrPhiHwThreads).value_or(240)));
   const auto free_threads = static_cast<ThreadCount>(
       machine.eval_integer(per_device_threads_attr(d)).value_or(hw));
   const MiB free_mem =
       machine.eval_integer(per_device_memory_attr(d))
           .value_or(machine.eval_integer(kAttrPhiFreeMemory).value_or(0));
   const MiB total_mem =
-      machine.eval_integer(kAttrPhiTotalMemory).value_or(free_mem);
+      machine.eval_integer(per_device_total_memory_attr(d))
+          .value_or(machine.eval_integer(kAttrPhiTotalMemory).value_or(free_mem));
 
   DeviceBudget budget;
+  budget.bw = machine.eval_real(per_device_free_bw_attr(d)).value_or(-1.0);
   const auto thread_cap = static_cast<ThreadCount>(
       config.occupancy_threads * static_cast<double>(hw));
   budget.threads = std::clamp(thread_cap - (hw - free_threads),
@@ -200,10 +210,20 @@ class BatchStrategy final : public MatchStrategy {
       for (DeviceId d = 0; d < devices; ++d) {
         const DeviceBudget budget = device_budget(ad, d, config_);
         problem.bins.push_back(
-            knapsack::BatchBin{budget.mem, budget.threads});
+            knapsack::BatchBin{budget.mem, budget.threads, budget.bw});
         bin_addr.emplace_back(m, d);
       }
     }
+
+    // Value normalization: the paper's quadratic uses the hardware thread
+    // count; on a mixed fleet, normalize against the largest card so a
+    // job's value is comparable across every bin it may land in.
+    ThreadCount fleet_hw = 0;
+    for (const auto& [node, ad] : cycle.machines) {
+      fleet_hw = std::max(fleet_hw, static_cast<ThreadCount>(
+          ad.eval_integer(kAttrPhiHwThreads).value_or(240)));
+    }
+    if (fleet_hw <= 0) fleet_hw = 240;
 
     // Candidate matrix: the two-way Requirements check decides machine
     // eligibility; a pre-pinned device (the add-on's qedit) restricts the
@@ -215,17 +235,27 @@ class BatchStrategy final : public MatchStrategy {
       job.mem_mib = job_ad.eval_integer(kAttrRequestPhiMemory).value_or(0);
       job.threads = static_cast<ThreadCount>(
           job_ad.eval_integer(kAttrRequestPhiThreads).value_or(0));
+      job.bw = job_ad.eval_real(kAttrRequestPhiMemBandwidth).value_or(0.0);
       job.value = knapsack::job_value(knapsack::ValueFunction::kPaperQuadratic,
-                                      job.threads, 240);
+                                      job.threads, fleet_hw);
       const auto pinned = job_ad.eval_integer(kAttrPinnedDevice);
       for (std::size_t m = 0; m < cycle.machines.size(); ++m) {
-        if (!classad::symmetric_match(job_ad, cycle.machines[m].second)) {
+        const classad::ClassAd& machine_ad = cycle.machines[m].second;
+        if (!classad::symmetric_match(job_ad, machine_ad)) {
           continue;
         }
         for (DeviceId d = 0; d < devices_of_machine[m]; ++d) {
           if (pinned.has_value() && static_cast<DeviceId>(*pinned) != d) {
             continue;
           }
+          // Mixed fleets: a job declaring more threads than this card
+          // has can never run an offload there — keep the bin out of
+          // its eligibility list (no-op on homogeneous fleets).
+          const auto dev_hw = static_cast<ThreadCount>(
+              machine_ad.eval_integer(per_device_hw_threads_attr(d))
+                  .value_or(machine_ad.eval_integer(kAttrPhiHwThreads)
+                                .value_or(240)));
+          if (job.threads > dev_hw) continue;
           job.eligible.push_back(first_bin_of_machine[m] +
                                  static_cast<std::size_t>(d));
         }
@@ -277,7 +307,10 @@ class BatchStrategy final : public MatchStrategy {
   knapsack::BatchPacker packer_;
 };
 
-/// Full-consumption numeric parses: "0.9x" is an error, not 0.9.
+/// Full-consumption FINITE numeric parses: "0.9x" is an error, not 0.9,
+/// and "nan"/"inf" are errors too — std::stod accepts both, and a NaN
+/// occupancy would slip through the `<= 0.0` range check below only to
+/// hit an out-of-range float→int cast (UB) in the budget math.
 double parse_real(const std::string& key, const std::string& value) {
   std::size_t used = 0;
   double parsed = 0.0;
@@ -286,7 +319,7 @@ double parse_real(const std::string& key, const std::string& value) {
   } catch (const std::exception&) {
     used = 0;
   }
-  if (used != value.size() || value.empty()) {
+  if (used != value.size() || value.empty() || !std::isfinite(parsed)) {
     throw std::invalid_argument("negotiation: bad number for '" + key +
                                 "': '" + value + "'");
   }
@@ -331,6 +364,7 @@ NegotiationConfig parse_negotiation(const std::string& spec) {
   if (colon == std::string::npos) return config;
 
   std::size_t start = colon + 1;
+  std::set<std::string> seen;
   while (start <= spec.size()) {
     const std::size_t comma = spec.find(',', start);
     const std::size_t end = comma == std::string::npos ? spec.size() : comma;
@@ -342,6 +376,10 @@ NegotiationConfig parse_negotiation(const std::string& spec) {
     }
     const std::string key = pair.substr(0, eq);
     const std::string value = pair.substr(eq + 1);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("negotiation: duplicate key '" + key +
+                                  "' (each key may appear once)");
+    }
     if (key == "size") {
       config.batch.batch_size = parse_count(key, value);
     } else if (key == "occ") {
@@ -364,6 +402,15 @@ NegotiationConfig parse_negotiation(const std::string& spec) {
   if (config.batch.occupancy_threads <= 0.0 ||
       config.batch.occupancy_memory <= 0.0) {
     throw std::invalid_argument("negotiation: occupancy must be positive");
+  }
+  // Occupancy is a fraction-like multiplier of the hardware budget:
+  // modest overcommit (say 1.5) is a legitimate ablation, but anything
+  // past this bound is a typo that would overflow the budget math.
+  constexpr double kMaxOccupancy = 16.0;
+  if (config.batch.occupancy_threads > kMaxOccupancy ||
+      config.batch.occupancy_memory > kMaxOccupancy) {
+    throw std::invalid_argument(
+        "negotiation: occupancy above the sane bound (16)");
   }
   return config;
 }

@@ -18,6 +18,8 @@ PendingJobView job_view(const condor::JobRecord& rec) {
       rec.ad.eval_integer(condor::kAttrRequestPhiThreads).value_or(0));
   v.devices_req = static_cast<int>(
       rec.ad.eval_integer(condor::kAttrRequestPhiDevices).value_or(1));
+  v.bw_req =
+      rec.ad.eval_real(condor::kAttrRequestPhiMemBandwidth).value_or(0.0);
   return v;
 }
 
@@ -39,14 +41,25 @@ std::vector<DeviceView> SharingAwareScheduler::device_views(
   for (const auto& [node, ad] : collector_.machine_ads()) {
     const auto device_count =
         ad.eval_integer(condor::kAttrPhiDevices).value_or(0);
-    const auto hw_threads = static_cast<ThreadCount>(
+    const auto node_hw_threads = static_cast<ThreadCount>(
         ad.eval_integer(condor::kAttrPhiHwThreads).value_or(240));
     for (DeviceId d = 0; d < device_count; ++d) {
       DeviceView v;
       v.addr = DeviceAddress{node, d};
       v.free_memory_mib =
           ad.eval_integer(condor::per_device_memory_attr(d)).value_or(0);
+      // Heterogeneous fleets advertise each card's geometry; homogeneous
+      // ads carry the same value at both levels, so the fallback is the
+      // legacy behaviour exactly.
+      const auto hw_threads = static_cast<ThreadCount>(
+          ad.eval_integer(condor::per_device_hw_threads_attr(d))
+              .value_or(node_hw_threads));
       v.hw_threads = hw_threads;
+      if (config_.bandwidth_aware) {
+        // Absent (contention model off) means unconstrained (-1).
+        v.bw_budget =
+            ad.eval_real(condor::per_device_free_bw_attr(d)).value_or(-1.0);
+      }
       if (config_.deduct_resident_threads) {
         // PhiFreeThreads = hw - resident declared threads (may be
         // negative when packs have stacked up).
@@ -78,6 +91,9 @@ std::vector<DeviceView> SharingAwareScheduler::device_views(
           if (config_.deduct_resident_threads) {
             v.thread_budget =
                 std::max<ThreadCount>(0, v.thread_budget - jv.threads_req);
+          }
+          if (v.bw_budget >= 0.0) {
+            v.bw_budget = std::max(0.0, v.bw_budget - jv.bw_req);
           }
           break;
         }

@@ -44,6 +44,14 @@ struct AddonConfig {
   /// 1.5 recovers the utilization the paper reports for offload jobs
   /// whose duty cycle is ~0.5. See the ablation bench.
   double thread_overcommit = 1.5;
+  /// Interference awareness (heterogeneous fleets): when true (default),
+  /// device views carry each card's advertised memory-bandwidth headroom
+  /// (PhiFreeBandwidth<d>) and pending views carry the job's declared
+  /// share, so the policy avoids saturating any card's ring. Nodes whose
+  /// contention model is off never advertise the attribute, so the
+  /// default stays bit-identical there. False = interference-blind
+  /// placement (the bench_hetero ablation baseline).
+  bool bandwidth_aware = true;
   /// Ground-truth execution-time oracle for ablation baselines (e.g. the
   /// LPT policy). Leave null for the paper's operating assumption that
   /// execution times are unknown.

@@ -38,6 +38,15 @@ class KnapsackAssignmentPolicy final : public AssignmentPolicy {
         if (taken[i]) continue;
         if (pending[i].mem_req_mib > dev.free_memory_mib) continue;
         if (pending[i].threads_req > dev.thread_budget) continue;
+        // A job wider than the card can never run there, even once the
+        // device drains — overcommit budgets don't lift that ceiling.
+        if (pending[i].threads_req > dev.hw_threads) continue;
+        // Interference awareness: a job whose declared bandwidth share
+        // alone exceeds this card's headroom would saturate its ring —
+        // keep it out of the knapsack entirely.
+        if (dev.bw_budget >= 0.0 && pending[i].bw_req > dev.bw_budget) {
+          continue;
+        }
         knapsack::Item item;
         item.weight_mib = pending[i].mem_req_mib;
         item.threads = pending[i].threads_req;
@@ -51,8 +60,16 @@ class KnapsackAssignmentPolicy final : public AssignmentPolicy {
       if (problem.items.empty()) continue;
 
       const knapsack::Solution sol = solver_->solve(problem);
+      // The memory/thread solver knows nothing of bandwidth; trim its
+      // picks, in deterministic pick order, so the set's summed declared
+      // shares stay under the device's headroom.
+      double bw_left = dev.bw_budget;
       for (std::size_t pick : sol.picks) {
         const std::size_t i = problem.items[pick].tag;
+        if (dev.bw_budget >= 0.0) {
+          if (pending[i].bw_req > bw_left) continue;
+          bw_left -= pending[i].bw_req;
+        }
         PHISCHED_CHECK(!taken[i], "knapsack picked a job twice");
         taken[i] = true;
         out.push_back(Assignment{pending[i].id, dev.addr});
@@ -109,7 +126,10 @@ class FirstFitPolicy final : public GreedyPolicy {
                                     const std::vector<DeviceView>& devices,
                                     const std::vector<MiB>& free) override {
     for (std::size_t d = 0; d < devices.size(); ++d) {
-      if (free[d] >= job.mem_req_mib) return d;
+      if (free[d] >= job.mem_req_mib &&
+          job.threads_req <= devices[d].hw_threads) {
+        return d;
+      }
     }
     return std::nullopt;
   }
@@ -126,6 +146,7 @@ class BestFitPolicy final : public GreedyPolicy {
     std::optional<std::size_t> best;
     for (std::size_t d = 0; d < devices.size(); ++d) {
       if (free[d] < job.mem_req_mib) continue;
+      if (job.threads_req > devices[d].hw_threads) continue;
       if (!best.has_value() || free[d] < free[*best]) best = d;
     }
     return best;
@@ -143,7 +164,10 @@ class RandomPolicy final : public GreedyPolicy {
                                     const std::vector<MiB>& free) override {
     std::vector<std::size_t> fits;
     for (std::size_t d = 0; d < devices.size(); ++d) {
-      if (free[d] >= job.mem_req_mib) fits.push_back(d);
+      if (free[d] >= job.mem_req_mib &&
+          job.threads_req <= devices[d].hw_threads) {
+        fits.push_back(d);
+      }
     }
     if (fits.empty()) return std::nullopt;
     return fits[rng_.index(fits.size())];
@@ -179,6 +203,7 @@ class OracleLptPolicy final : public AssignmentPolicy {
       std::optional<std::size_t> best;
       for (std::size_t d = 0; d < devices.size(); ++d) {
         if (free[d] < job.mem_req_mib) continue;
+        if (job.threads_req > devices[d].hw_threads) continue;
         if (!best.has_value() || load[d] < load[*best]) best = d;
       }
       if (!best.has_value()) continue;

@@ -33,6 +33,10 @@ struct DeviceView {
   /// The device's full hardware thread count; normalizes the value
   /// function (Eq. 1 divides by 240 regardless of current budget).
   ThreadCount hw_threads = 240;
+  /// Memory-bandwidth headroom (MiB/s) under the card's saturation
+  /// budget. Negative (default) = contention model off / unadvertised;
+  /// bandwidth then never constrains placement on this device.
+  double bw_budget = -1.0;
 };
 
 /// One pending job's declared requirements.
@@ -40,6 +44,9 @@ struct PendingJobView {
   JobId id = 0;
   MiB mem_req_mib = 0;  ///< per device
   ThreadCount threads_req = 0;
+  /// Declared memory-bandwidth share (MiB/s); 0 = undeclared. Only
+  /// consulted against devices whose bw_budget is non-negative.
+  double bw_req = 0.0;
   /// Gang size; policies only see single-device jobs (the add-on places
   /// gangs in a node-level pre-pass), so this is 1 inside assign().
   int devices_req = 1;

@@ -116,6 +116,19 @@ ThreadCount NodeMiddleware::unreserved_threads(DeviceId d) const {
   return ds.device->config().hw.hw_threads() - ds.reserved_threads;
 }
 
+double NodeMiddleware::unreserved_bandwidth(DeviceId d) const {
+  PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
+                   "NodeMiddleware: bad device id");
+  const auto& ds = devices_[static_cast<std::size_t>(d)];
+  const double budget = ds.device->mem_bw_budget();
+  return budget < 0.0 ? budget : budget - ds.reserved_bw;
+}
+
+void NodeMiddleware::sync_bw_load(DeviceState& ds) {
+  if (!ds.device->config().mem_bw.contention) return;
+  ds.device->set_resident_bw_load(ds.reserved_bw);
+}
+
 std::optional<DeviceId> NodeMiddleware::pick_device(MiB declared) const {
   std::optional<DeviceId> best;
   MiB best_free = -1;
@@ -150,29 +163,46 @@ std::vector<DeviceId> NodeMiddleware::pick_gang(int gang_size,
 bool NodeMiddleware::launch_job(JobId job, DeviceId d, MiB declared_mem,
                                 ThreadCount declared_threads, MiB base_memory,
                                 KillCallback on_kill) {
+  JobDeclaration decl;
+  decl.mem_per_device = declared_mem;
+  decl.threads = declared_threads;
+  decl.base_memory = base_memory;
+  return launch_job(job, d, decl, std::move(on_kill));
+}
+
+bool NodeMiddleware::launch_job(JobId job, DeviceId d,
+                                const JobDeclaration& decl,
+                                KillCallback on_kill) {
   PHISCHED_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < devices_.size(),
                    "launch_job: bad device id");
   PHISCHED_REQUIRE(jobs_.find(job) == jobs_.end(),
                    "launch_job: job already launched");
-  PHISCHED_REQUIRE(declared_mem > 0, "launch_job: declared memory must be > 0");
-  if (declared_mem > unreserved_memory(d)) {
+  PHISCHED_REQUIRE(decl.gang_size == 1, "launch_job: gang jobs use submit_job");
+  PHISCHED_REQUIRE(decl.mem_per_device > 0,
+                   "launch_job: declared memory must be > 0");
+  PHISCHED_REQUIRE(decl.mem_bw_mib_s >= 0.0,
+                   "launch_job: declared bandwidth must be >= 0");
+  if (decl.mem_per_device > unreserved_memory(d)) {
     return false;  // would oversubscribe declared memory — refuse
   }
 
   Reservation res;
   res.devices = {d};
-  res.declared_mem = declared_mem;
-  res.declared_threads = declared_threads;
+  res.declared_mem = decl.mem_per_device;
+  res.declared_threads = decl.threads;
+  res.declared_bw = decl.mem_bw_mib_s;
   res.on_kill = std::move(on_kill);
   jobs_.emplace(job, std::move(res));
 
   auto& ds = devices_[static_cast<std::size_t>(d)];
-  ds.reserved_mem += declared_mem;
-  ds.reserved_threads += declared_threads;
+  ds.reserved_mem += decl.mem_per_device;
+  ds.reserved_threads += decl.threads;
+  ds.reserved_bw += decl.mem_bw_mib_s;
   ds.device->attach_process(
-      job, base_memory,
+      job, decl.base_memory,
       [this](JobId j, phi::KillReason reason) { on_device_kill(j, reason); });
   ds.device->set_resident_thread_load(ds.reserved_threads);
+  sync_bw_load(ds);
   return true;
 }
 
@@ -195,6 +225,7 @@ bool NodeMiddleware::try_admit(WaitingJob& w) {
   res.devices = gang;
   res.declared_mem = w.declared_mem;
   res.declared_threads = w.declared_threads;
+  res.declared_bw = w.declared_bw;
   res.on_kill = std::move(w.on_kill);
   jobs_.emplace(w.job, std::move(res));
 
@@ -202,10 +233,12 @@ bool NodeMiddleware::try_admit(WaitingJob& w) {
     auto& ds = devices_[static_cast<std::size_t>(d)];
     ds.reserved_mem += w.declared_mem;
     ds.reserved_threads += w.declared_threads;
+    ds.reserved_bw += w.declared_bw;
     ds.device->attach_process(
         w.job, w.base_memory,
         [this](JobId j, phi::KillReason reason) { on_device_kill(j, reason); });
     ds.device->set_resident_thread_load(ds.reserved_threads);
+    sync_bw_load(ds);
   }
 
   stats_.jobs_admitted += 1;
@@ -219,20 +252,37 @@ void NodeMiddleware::submit_job(JobId job, std::vector<DeviceId> pinned,
                                 ThreadCount declared_threads, MiB base_memory,
                                 KillCallback on_kill,
                                 std::function<void()> on_admitted) {
-  PHISCHED_REQUIRE(gang_size >= 1, "submit_job: gang size must be positive");
-  PHISCHED_REQUIRE(static_cast<std::size_t>(gang_size) <= devices_.size(),
+  JobDeclaration decl;
+  decl.gang_size = gang_size;
+  decl.mem_per_device = declared_mem_per_device;
+  decl.threads = declared_threads;
+  decl.base_memory = base_memory;
+  submit_job(job, std::move(pinned), decl, std::move(on_kill),
+             std::move(on_admitted));
+}
+
+void NodeMiddleware::submit_job(JobId job, std::vector<DeviceId> pinned,
+                                const JobDeclaration& decl,
+                                KillCallback on_kill,
+                                std::function<void()> on_admitted) {
+  PHISCHED_REQUIRE(decl.gang_size >= 1,
+                   "submit_job: gang size must be positive");
+  PHISCHED_REQUIRE(static_cast<std::size_t>(decl.gang_size) <= devices_.size(),
                    "submit_job: gang larger than the node's device count");
-  PHISCHED_REQUIRE(declared_mem_per_device > 0,
+  PHISCHED_REQUIRE(decl.mem_per_device > 0,
                    "submit_job: declared memory must be > 0");
+  PHISCHED_REQUIRE(decl.mem_bw_mib_s >= 0.0,
+                   "submit_job: declared bandwidth must be >= 0");
   PHISCHED_REQUIRE(jobs_.find(job) == jobs_.end(),
                    "submit_job: job already resident");
   WaitingJob w;
   w.job = job;
   w.pinned = std::move(pinned);
-  w.gang_size = gang_size;
-  w.declared_mem = declared_mem_per_device;
-  w.declared_threads = declared_threads;
-  w.base_memory = base_memory;
+  w.gang_size = decl.gang_size;
+  w.declared_mem = decl.mem_per_device;
+  w.declared_threads = decl.threads;
+  w.declared_bw = decl.mem_bw_mib_s;
+  w.base_memory = decl.base_memory;
   w.on_kill = std::move(on_kill);
   w.on_admitted = std::move(on_admitted);
   const bool must_queue = config_.job_admission == DrainPolicy::kFifoStrict &&
@@ -295,8 +345,14 @@ void NodeMiddleware::admit_waiting() {
 
 bool NodeMiddleware::fits_now(const DeviceState& ds, ThreadCount threads) const {
   if (!config_.serialize_offloads) return true;
-  return ds.device->active_thread_demand() + threads <=
-         ds.device->config().hw.hw_threads();
+  const ThreadCount hw = ds.device->config().hw.hw_threads();
+  // Heterogeneous fleets can see an offload wider than the card (e.g. a
+  // 240-thread job on a 228-thread 3120A). It can never literally fit,
+  // so clamp the width: it waits for the device to drain, then runs
+  // alone under the oversubscription penalty — instead of queueing
+  // forever. No-op on homogeneous fleets (declared widths never exceed
+  // the card there).
+  return ds.device->active_thread_demand() + std::min(threads, hw) <= hw;
 }
 
 bool NodeMiddleware::container_violation(JobId job, const Reservation& res,
@@ -499,11 +555,18 @@ void NodeMiddleware::release_reservation(JobId job, const Reservation& res) {
     note_queue_depth(d);
     ds.reserved_mem -= res.declared_mem;
     ds.reserved_threads -= res.declared_threads;
+    ds.reserved_bw -= res.declared_bw;
     PHISCHED_CHECK(ds.reserved_mem >= 0,
                    "NodeMiddleware: reservation ledger underflow on device=",
                    d, " (reserved=", ds.reserved_mem, " MiB) releasing job=",
                    job, " t=", sim_.now());
+    PHISCHED_CHECK(ds.reserved_bw >= -1e-9,
+                   "NodeMiddleware: bandwidth ledger underflow on device=", d,
+                   " (reserved=", ds.reserved_bw, " MiB/s) releasing job=",
+                   job, " t=", sim_.now());
+    if (ds.reserved_bw < 0.0) ds.reserved_bw = 0.0;
     ds.device->set_resident_thread_load(ds.reserved_threads);
+    sync_bw_load(ds);
   }
 }
 

@@ -79,6 +79,22 @@ struct MiddlewareConfig {
   double pcie_bandwidth_mib_s = 0.0;
 };
 
+/// Everything a job declares about its per-device footprint when it is
+/// submitted to a node. Bundling the declaration keeps submit_job's
+/// signature stable as sharing dimensions are added; the positional
+/// overloads below forward here with mem_bw_mib_s = 0.
+struct JobDeclaration {
+  int gang_size = 1;
+  MiB mem_per_device = 0;  ///< declared container limit, per gang member
+  ThreadCount threads = 0;
+  MiB base_memory = 0;
+  /// Declared memory-bandwidth share (MiB/s) per device. Enters the
+  /// reservation ledger and the device's resident-bandwidth interference
+  /// model only when that device's MemBwConfig opted into contention;
+  /// inert (like the whole ledger column) otherwise.
+  double mem_bw_mib_s = 0.0;
+};
+
 struct MiddlewareStats {
   std::uint64_t offloads_admitted = 0;
   std::uint64_t offloads_queued = 0;
@@ -111,6 +127,12 @@ class NodeMiddleware {
   /// threads are a soft limit enforced at offload granularity).
   [[nodiscard]] ThreadCount unreserved_threads(DeviceId d) const;
 
+  /// Memory-bandwidth budget (MiB/s) not yet promised on device `d`, or
+  /// a negative value when that device's contention model is off (no
+  /// budget to subtract from). Like threads, bandwidth is a soft limit:
+  /// overshooting slows the card rather than blocking admission.
+  [[nodiscard]] double unreserved_bandwidth(DeviceId d) const;
+
   /// Picks the device with the most unreserved memory that still fits
   /// `declared`; nullopt if none fits.
   [[nodiscard]] std::optional<DeviceId> pick_device(MiB declared) const;
@@ -129,6 +151,10 @@ class NodeMiddleware {
                   ThreadCount declared_threads, MiB base_memory,
                   KillCallback on_kill);
 
+  /// Declaration-struct variant (gang_size must be 1 for launch_job).
+  bool launch_job(JobId job, DeviceId d, const JobDeclaration& decl,
+                  KillCallback on_kill);
+
   /// A job arriving at the node. Admitted immediately when capacity for
   /// its whole gang exists (honouring `pinned` when non-empty), otherwise
   /// parked in the node's admission queue until capacity frees — this is
@@ -138,6 +164,12 @@ class NodeMiddleware {
   void submit_job(JobId job, std::vector<DeviceId> pinned, int gang_size,
                   MiB declared_mem_per_device, ThreadCount declared_threads,
                   MiB base_memory, KillCallback on_kill,
+                  std::function<void()> on_admitted);
+
+  /// Declaration-struct variant carrying every sharing dimension,
+  /// including the declared memory-bandwidth share.
+  void submit_job(JobId job, std::vector<DeviceId> pinned,
+                  const JobDeclaration& decl, KillCallback on_kill,
                   std::function<void()> on_admitted);
 
   /// Single-device convenience (gang of one).
@@ -191,6 +223,7 @@ class NodeMiddleware {
     std::vector<DeviceId> devices;  ///< the gang, in job device-index order
     MiB declared_mem = 0;           ///< per device
     ThreadCount declared_threads = 0;
+    double declared_bw = 0.0;  ///< MiB/s, per device
     KillCallback on_kill;
   };
 
@@ -198,6 +231,7 @@ class NodeMiddleware {
     phi::Device* device = nullptr;
     MiB reserved_mem = 0;
     ThreadCount reserved_threads = 0;
+    double reserved_bw = 0.0;  ///< summed declared MiB/s
     std::deque<PendingOffload> queue;
   };
 
@@ -207,6 +241,7 @@ class NodeMiddleware {
     int gang_size = 1;
     MiB declared_mem = 0;
     ThreadCount declared_threads = 0;
+    double declared_bw = 0.0;
     MiB base_memory = 0;
     KillCallback on_kill;
     std::function<void()> on_admitted;
@@ -254,6 +289,11 @@ class NodeMiddleware {
 
   /// Tries to admit one waiting job; true on success.
   bool try_admit(WaitingJob& w);
+
+  /// Pushes the ledger's summed declared bandwidth into the device's
+  /// interference model; no-op while that device's model is off, so the
+  /// default path never perturbs the device's settle/reconcile cadence.
+  void sync_bw_load(DeviceState& ds);
 
   /// Admits every queued job that now fits.
   void admit_waiting();

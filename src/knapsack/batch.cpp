@@ -36,6 +36,10 @@ BatchResult BatchPacker::pack(const BatchProblem& problem) const {
       if (!std::binary_search(job.eligible.begin(), job.eligible.end(), b)) {
         continue;
       }
+      // Bandwidth-constrained bin: a job whose declared share alone
+      // exceeds the headroom can never run here without saturating the
+      // ring — keep it out of the sub-problem entirely.
+      if (bin.bw_capacity >= 0.0 && job.bw > bin.bw_capacity) continue;
       Item item;
       item.weight_mib = job.mem_mib;
       item.threads = job.threads;
@@ -50,8 +54,16 @@ BatchResult BatchPacker::pack(const BatchProblem& problem) const {
     sub.quantum_mib = problem.quantum_mib;
 
     const Solution solution = solver_->solve(sub);
+    // The memory/thread solvers know nothing of bandwidth; trim their
+    // picks, in deterministic pick order, to the bin's bw headroom so a
+    // bin never admits a set whose summed declared shares saturate it.
+    double bw_left = bin.bw_capacity;
     for (const std::size_t pick : solution.picks) {
       const std::size_t j = job_of_item[pick];
+      if (bin.bw_capacity >= 0.0) {
+        if (problem.jobs[j].bw > bw_left) continue;
+        bw_left -= problem.jobs[j].bw;
+      }
       placed[j] = true;
       result.placed.push_back(BatchPlacement{problem.jobs[j].tag, b});
     }

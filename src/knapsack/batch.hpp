@@ -26,6 +26,10 @@ namespace phisched::knapsack {
 struct BatchBin {
   MiB mem_capacity_mib = 0;
   ThreadCount thread_capacity = 0;
+  /// Memory-bandwidth headroom (MiB/s) left under this device's
+  /// saturation budget. Negative (the default) means the contention
+  /// model is off and bandwidth does not constrain the bin.
+  double bw_capacity = -1.0;
 };
 
 /// One job in the batch. `eligible` lists the indices of the bins this
@@ -35,6 +39,9 @@ struct BatchJob {
   std::size_t tag = 0;  ///< caller identifier, echoed in the result
   MiB mem_mib = 0;
   ThreadCount threads = 0;
+  /// Declared memory-bandwidth share (MiB/s); only consulted against
+  /// bins whose bw_capacity is non-negative.
+  double bw = 0.0;
   double value = 1.0;
   std::vector<std::size_t> eligible;
 };

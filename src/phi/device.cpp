@@ -31,6 +31,14 @@ Device::Device(Simulator& sim, DeviceConfig config, Rng rng, std::string name)
   PHISCHED_REQUIRE(config_.unmanaged_overlap_penalty >= 0.0 &&
                        config_.unmanaged_overlap_penalty < 1.0,
                    "Device: overlap penalty must be in [0,1)");
+  PHISCHED_REQUIRE(config_.mem_bw.saturation > 0.0 &&
+                       config_.mem_bw.saturation <= 1.0,
+                   "Device: mem_bw saturation must be in (0,1]");
+  PHISCHED_REQUIRE(config_.mem_bw.exponent >= 0.0,
+                   "Device: mem_bw exponent must be >= 0");
+  // hw stays the source of truth for geometry; the capability mirrors it
+  // so machine ads and placement never see a conflicting description.
+  config_.capability.hw = config_.hw;
   busy_core_time_.reset(sim_.now(), 0.0);
   last_settle_ = sim_.now();
 }
@@ -93,6 +101,10 @@ void Device::attach_telemetry(obs::Recorder& recorder,
   obs_.busy_cores->set(sim_.now(), static_cast<double>(cores_.busy_cores()));
   obs_.speed_seconds->set(sim_.now(), speed_);
   for (const auto& [job, _] : procs_) note_container(job);
+  if (config_.mem_bw.contention) {
+    obs_.bw_demand = &m.series(prefix + ".mem_bw_demand");
+    obs_.bw_demand->set(sim_.now(), resident_bw_load_);
+  }
   if (pcie_link_.enabled()) {
     pcie_link_.attach_telemetry(recorder, prefix + ".pcie");
   }
@@ -223,6 +235,15 @@ double Device::compute_speed() const {
                           static_cast<double>(resident_thread_load_),
                       config_.idle_spin_exponent);
   }
+  // Memory-bandwidth saturation: declared bandwidth shares of resident
+  // containers contend on the GDDR ring, degrading roughly linearly past
+  // the sustainable budget (Fang et al.). Inert while the model is off.
+  if (config_.mem_bw.contention) {
+    const double budget = mem_bw_budget();
+    if (budget > 0.0 && resident_bw_load_ > budget) {
+      speed *= std::pow(budget / resident_bw_load_, config_.mem_bw.exponent);
+    }
+  }
   return speed;
 }
 
@@ -232,6 +253,18 @@ void Device::set_resident_thread_load(ThreadCount declared_threads) {
   if (declared_threads == resident_thread_load_) return;
   settle();
   resident_thread_load_ = declared_threads;
+  reconcile();
+}
+
+void Device::set_resident_bw_load(double declared_mib_s) {
+  PHISCHED_REQUIRE(std::isfinite(declared_mib_s) && declared_mib_s >= 0.0,
+                   "set_resident_bw_load: load must be finite and >= 0");
+  if (declared_mib_s == resident_bw_load_) return;
+  settle();
+  resident_bw_load_ = declared_mib_s;
+  if (obs_.bw_demand != nullptr) {
+    obs_.bw_demand->set(sim_.now(), resident_bw_load_);
+  }
   reconcile();
 }
 

@@ -30,6 +30,7 @@
 #include "common/types.hpp"
 #include "obs/recorder.hpp"
 #include "phi/affinity.hpp"
+#include "phi/capability.hpp"
 #include "phi/pcie.hpp"
 #include "sim/simulator.hpp"
 
@@ -77,6 +78,18 @@ struct DeviceConfig {
   /// on, the node middleware routes every offload's input/output
   /// transfer through the link and concurrent containers contend.
   PcieLinkConfig pcie{};
+
+  /// This card's generation and bandwidth envelope (phi/capability.hpp).
+  /// `hw` above remains the source of truth for thread/memory geometry:
+  /// the constructor copies it into capability.hw so the two can never
+  /// disagree. Defaults to the 5110P the paper's testbed used.
+  DeviceCapability capability{};
+
+  /// Memory-bandwidth contention model (phi/capability.hpp). Off by
+  /// default: enabling it adds a third interference dimension where the
+  /// summed declared bandwidth of resident containers slows offloads
+  /// past the card's saturation budget.
+  MemBwConfig mem_bw{};
 };
 
 struct DeviceStats {
@@ -164,6 +177,22 @@ class Device {
     return resident_thread_load_;
   }
 
+  /// Summed declared memory bandwidth (MiB/s) of resident containers,
+  /// reported by the node middleware when the mem_bw model is on; demand
+  /// past mem_bw_budget() slows every offload on the card.
+  void set_resident_bw_load(double declared_mib_s);
+  [[nodiscard]] double resident_bw_load() const { return resident_bw_load_; }
+
+  /// Sustainable bandwidth budget (saturation × aggregate), or < 0 when
+  /// the contention model is off.
+  [[nodiscard]] double mem_bw_budget() const {
+    return config_.mem_bw.budget_mib_s(config_.capability);
+  }
+
+  [[nodiscard]] const DeviceCapability& capability() const {
+    return config_.capability;
+  }
+
   /// The card's shared PCIe link; disabled unless DeviceConfig::pcie
   /// opted into contention.
   [[nodiscard]] PcieLink& pcie_link() { return pcie_link_; }
@@ -241,6 +270,9 @@ class Device {
     obs::TimeSeriesGauge* speed = nullptr;
     obs::TimeSeriesGauge* busy_cores = nullptr;
     obs::TimeHistogram* speed_seconds = nullptr;
+    /// Registered only when the mem_bw contention model is on, so the
+    /// default telemetry JSON stays byte-identical to the seed.
+    obs::TimeSeriesGauge* bw_demand = nullptr;
   };
 
   Simulator& sim_;
@@ -253,6 +285,7 @@ class Device {
   std::map<OffloadId, Offload> offloads_;
   MiB memory_used_ = 0;
   ThreadCount resident_thread_load_ = 0;
+  double resident_bw_load_ = 0.0;
   double speed_ = 1.0;
   SimTime last_settle_ = 0.0;
   TimeWeighted busy_core_time_;

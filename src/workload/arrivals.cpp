@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -158,8 +159,20 @@ class TraceStream final : public ArrivalStream {
 
 [[nodiscard]] double parse_non_negative(const std::string& key,
                                         const std::string& value) {
-  if (value == "0" || value == "0.0") return 0.0;
-  return parse_positive(key, value);
+  // Parse first, then range-check: string-matching zero spellings would
+  // reject valid inputs like "0.00", "0e0", and ".0".
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  PHISCHED_REQUIRE(used == value.size() && std::isfinite(parsed) &&
+                       parsed >= 0.0,
+                   "arrivals: ", key, " must be a non-negative number, got '",
+                   value, "'");
+  return parsed;
 }
 
 }  // namespace
@@ -193,6 +206,7 @@ ArrivalSpec ArrivalSpec::parse(const std::string& text) {
 
   std::string params =
       colon == std::string::npos ? std::string() : text.substr(colon + 1);
+  std::set<std::string> seen;
   std::size_t start = 0;
   while (start < params.size()) {
     const std::size_t comma = params.find(',', start);
@@ -205,6 +219,8 @@ ArrivalSpec ArrivalSpec::parse(const std::string& text) {
                      "arrivals: expected key=value, got '", token, "'");
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    PHISCHED_REQUIRE(seen.insert(key).second, "arrivals: duplicate key '", key,
+                     "' (each key may appear once)");
     if (spec.kind == ArrivalKind::kPoisson && key == "rate") {
       spec.rate = parse_positive(key, value);
     } else if (spec.kind == ArrivalKind::kBursty && key == "rate_on") {

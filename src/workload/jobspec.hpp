@@ -28,6 +28,12 @@ struct JobSpec {
   /// workloads use 1.
   int devices_req = 1;
 
+  /// Declared memory-bandwidth share (MiB/s) per device — the third
+  /// sharing dimension (see phi/capability.hpp). 0 (the default, and the
+  /// paper's two-number declaration) opts the job out: it contributes no
+  /// projected contention and bandwidth-aware placement ignores it.
+  double mem_bw_mib_s = 0.0;
+
   /// Resident device memory of the COI helper process while the job is
   /// running (independent of offload working sets).
   MiB base_memory_mib = 16;

@@ -64,6 +64,44 @@ TEST(ParseNegotiation, RejectsBadSpecs) {
   EXPECT_THROW((void)parse_negotiation(""), std::invalid_argument);
 }
 
+TEST(ParseNegotiation, RejectsNonFiniteOccupancy) {
+  // nan used to slip through the `<= 0` guard and poison every admission
+  // comparison; inf additionally made the float->int batch cast UB.
+  EXPECT_THROW((void)parse_negotiation("batch:occ=nan"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:occ=inf"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:occ=-inf"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:occ-mem=nan"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:occ=-1"),
+               std::invalid_argument);
+}
+
+TEST(ParseNegotiation, RejectsOccupancyAboveSaneBound) {
+  EXPECT_THROW((void)parse_negotiation("batch:occ=17"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:occ-mem=1e30"),
+               std::invalid_argument);
+  // The bound itself is inclusive.
+  EXPECT_DOUBLE_EQ(parse_negotiation("batch:occ=16").batch.occupancy_threads,
+                   16.0);
+}
+
+TEST(ParseNegotiation, RejectsDuplicateKeysNamingTheKey) {
+  try {
+    (void)parse_negotiation("batch:size=4,size=8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("size"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_negotiation("batch:occ=0.5,occ=0.6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_negotiation("batch:packer=bnb,packer=bnb"),
+               std::invalid_argument);
+}
+
 // --- strategy fixtures -------------------------------------------------------
 
 classad::ClassAd machine_ad(NodeId node, std::int64_t slots, MiB total_mem,

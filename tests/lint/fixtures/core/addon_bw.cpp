@@ -1,0 +1,30 @@
+// Lint fixture: unordered-iter via the core/ directory scope. Lint
+// fodder for tests/lint_fixtures.cmake — never compiled. core/ holds the
+// negotiator add-on's device views and bandwidth trims, which pick
+// placements: iteration-order hazards there are decision bugs, and this
+// file pins that the directory stays inside the lint's decision-path
+// scope. Line numbers are asserted by the test; append below the
+// suppressed block only.
+#include <unordered_map>
+
+struct BwLedger {
+  std::unordered_map<int, double> free_bw_;
+
+  double worst_headroom() const {
+    double worst = 1e18;
+    for (const auto& [dev, bw] : free_bw_) {  // line 15: violation
+      if (bw < worst) worst = bw;
+    }
+    return worst;
+  }
+
+  double total() const {
+    double sum = 0.0;
+    // Order-independent fold: addition over a fixed set, no tie-breaks.
+    // phisched-lint: allow(unordered-iter)
+    for (const auto& [dev, bw] : free_bw_) {  // line 25: suppressed
+      sum += bw;
+    }
+    return sum;
+  }
+};

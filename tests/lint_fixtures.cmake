@@ -38,7 +38,8 @@ assert_contains("${out}" "sim/schedule_tiebreak.cpp:12: [schedule-tiebreak]" "hu
 assert_contains("${out}" "parallel/sharded_merge.cpp:23: [unordered-iter]" "human sharded scope")
 assert_contains("${out}" "matchmaking/strategy_order.cpp:22: [unordered-iter]" "human strategy scope")
 assert_contains("${out}" "matchmaking/batch_packer.cpp:14: [pointer-key]" "human batch scope")
-assert_contains("${out}" "9 finding(s), 8 suppressed, 9 file(s) scanned" "human summary")
+assert_contains("${out}" "core/addon_bw.cpp:15: [unordered-iter]" "human core scope")
+assert_contains("${out}" "10 finding(s), 9 suppressed, 10 file(s) scanned" "human summary")
 # Suppressed instances must not surface as findings in human mode.
 assert_not_contains("${out}" "unordered_iter.cpp:20" "human suppressed")
 assert_not_contains("${out}" "wall_clock.cpp:12" "human suppressed")
@@ -48,6 +49,7 @@ assert_not_contains("${out}" "schedule_tiebreak.cpp:35" "human suppressed")
 assert_not_contains("${out}" "sharded_merge.cpp:32" "human suppressed")
 assert_not_contains("${out}" "strategy_order.cpp:32" "human suppressed")
 assert_not_contains("${out}" "batch_packer.cpp:18" "human suppressed")
+assert_not_contains("${out}" "addon_bw.cpp:25" "human suppressed")
 # Path-scoped rules must stay quiet outside decision paths.
 assert_not_contains("${out}" "outside_decision_path" "negative control")
 
@@ -61,8 +63,8 @@ if(NOT jrc EQUAL 1)
   message(FATAL_ERROR "json mode: expected exit 1 on fixtures, got ${jrc}\n${jout}${jerr}")
 endif()
 assert_contains("${jout}" "\"tool\": \"phisched_lint\"" "json header")
-assert_contains("${jout}" "\"findings\": 9" "json counts")
-assert_contains("${jout}" "\"suppressed\": 8" "json counts")
+assert_contains("${jout}" "\"findings\": 10" "json counts")
+assert_contains("${jout}" "\"suppressed\": 9" "json counts")
 foreach(rule unordered-iter wall-clock pointer-key nontotal-sort schedule-tiebreak)
   assert_contains("${jout}" "\"rule\": \"${rule}\"" "json rule ids")
 endforeach()
@@ -72,6 +74,8 @@ assert_contains("${jout}" "parallel/sharded_merge.cpp\"" "json sharded file")
 assert_contains("${jout}" "\"line\": 23" "json sharded line")
 assert_contains("${jout}" "matchmaking/strategy_order.cpp\"" "json strategy file")
 assert_contains("${jout}" "matchmaking/batch_packer.cpp\"" "json batch file")
+assert_contains("${jout}" "core/addon_bw.cpp\"" "json core file")
+assert_contains("${jout}" "\"line\": 15" "json core line")
 assert_contains("${jout}" "\"line\": 14" "json batch line")
 assert_contains("${jout}" "\"line\": 12" "json line")
 assert_contains("${jout}" "\"line\": 20" "json suppressed line")

@@ -1,0 +1,102 @@
+// Per-card memory-bandwidth contention (phi::MemBwConfig): declared
+// resident shares past the saturation budget slow the card; under the
+// budget — or with the model off — the speed model is untouched.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "phi/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace phisched::phi {
+namespace {
+
+DeviceConfig bw_config(double saturation = 0.5, double exponent = 1.0) {
+  DeviceConfig config;
+  config.mem_bw.contention = true;
+  config.mem_bw.saturation = saturation;
+  config.mem_bw.exponent = exponent;
+  return config;
+}
+
+class MemBwTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(MemBwTest, BudgetComesFromTheCapability) {
+  Device dev(sim_, bw_config(0.5), Rng(7), "mic0");
+  // Default card is the 5110P: 327680 MiB/s aggregate, half usable.
+  EXPECT_DOUBLE_EQ(dev.mem_bw_budget(), 163840.0);
+  Device off(sim_, DeviceConfig{}, Rng(7), "mic1");
+  EXPECT_LT(off.mem_bw_budget(), 0.0);
+}
+
+TEST_F(MemBwTest, LoadUnderBudgetDoesNotSlowTheCard) {
+  Device dev(sim_, bw_config(), Rng(7), "mic0");
+  dev.set_resident_bw_load(163840.0);  // exactly at budget
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+}
+
+TEST_F(MemBwTest, OvershootSlowsProportionally) {
+  Device dev(sim_, bw_config(0.5, 1.0), Rng(7), "mic0");
+  dev.set_resident_bw_load(2.0 * 163840.0);  // 2x the budget
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.5);
+}
+
+TEST_F(MemBwTest, ExponentShapesThePenalty) {
+  Device dev(sim_, bw_config(0.5, 2.0), Rng(7), "mic0");
+  dev.set_resident_bw_load(2.0 * 163840.0);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 0.25);
+}
+
+TEST_F(MemBwTest, ModelOffIgnoresDeclaredLoad) {
+  Device dev(sim_, DeviceConfig{}, Rng(7), "mic0");
+  dev.set_resident_bw_load(1e9);
+  EXPECT_DOUBLE_EQ(dev.current_speed(), 1.0);
+}
+
+TEST_F(MemBwTest, ContentionStretchesOffloads) {
+  Device dev(sim_, bw_config(0.5, 1.0), Rng(7), "mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.set_resident_bw_load(2.0 * 163840.0);
+  bool done = false;
+  dev.start_offload(1, 120, 500, 10.0, [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  // Half speed: the 10 s offload takes 20 s.
+  EXPECT_DOUBLE_EQ(sim_.now(), 20.0);
+}
+
+TEST_F(MemBwTest, LoadChangeMidOffloadReschedules) {
+  Device dev(sim_, bw_config(0.5, 1.0), Rng(7), "mic0");
+  dev.attach_process(1, 16, nullptr);
+  dev.start_offload(1, 120, 500, 10.0, nullptr);
+  sim_.schedule_at(5.0, [&] { dev.set_resident_bw_load(2.0 * 163840.0); });
+  sim_.run();
+  // 5 s at full speed + the remaining half at half speed = 5 + 10.
+  EXPECT_DOUBLE_EQ(sim_.now(), 15.0);
+}
+
+TEST_F(MemBwTest, RejectsNonFiniteOrNegativeLoad) {
+  Device dev(sim_, bw_config(), Rng(7), "mic0");
+  EXPECT_THROW(dev.set_resident_bw_load(-1.0), std::invalid_argument);
+  EXPECT_THROW(dev.set_resident_bw_load(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(dev.set_resident_bw_load(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST_F(MemBwTest, RejectsBadSaturationOrExponent) {
+  EXPECT_THROW(Device(sim_, bw_config(0.0), Rng(7), "mic0"),
+               std::invalid_argument);
+  EXPECT_THROW(Device(sim_, bw_config(1.5), Rng(7), "mic0"),
+               std::invalid_argument);
+  EXPECT_THROW(Device(sim_, bw_config(0.5, -1.0), Rng(7), "mic0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phisched::phi

@@ -73,6 +73,35 @@ TEST(ArrivalSpec, RejectsMalformedSpecsLoudly) {
       << "trace without file= must be rejected";
 }
 
+TEST(ArrivalSpec, AcceptsEverySpellingOfZero) {
+  // The old prefix check ("0." / "0e") rejected 0.00, 0e0 and .0 even
+  // though zero is a legal value for these keys.
+  for (const char* zero : {"0", "0.0", "0.00", "0e0", ".0", "0.", "00"}) {
+    const ArrivalSpec spec = ArrivalSpec::parse(
+        std::string("diurnal:base=") + zero + ",peak=3.0,period=3600");
+    EXPECT_DOUBLE_EQ(spec.base, 0.0) << zero;
+  }
+}
+
+TEST(ArrivalSpec, RejectsNonFiniteValues) {
+  EXPECT_THROW(ArrivalSpec::parse("poisson:rate=nan"), std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("poisson:rate=inf"), std::invalid_argument);
+}
+
+TEST(ArrivalSpec, RejectsDuplicateKeysNamingTheKey) {
+  try {
+    ArrivalSpec::parse("poisson:rate=1,rate=2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rate"), std::string::npos);
+  }
+  EXPECT_THROW(
+      ArrivalSpec::parse("bursty:rate_on=5,rate_on=5,rate_off=0.2"),
+      std::invalid_argument);
+  EXPECT_THROW(ArrivalSpec::parse("trace:file=a.txt,file=b.txt"),
+               std::invalid_argument);
+}
+
 TEST(ArrivalStreams, SeedDeterministicAndNonDecreasing) {
   for (const char* spec_text :
        {"poisson:rate=2.0",

@@ -18,6 +18,7 @@
 #include "common/json.hpp"
 #include "common/sparkline.hpp"
 #include "obs/recorder.hpp"
+#include "phi/capability.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/io.hpp"
 #include "workload/jobset.hpp"
@@ -38,7 +39,19 @@ options:
                         (default real)
   --jobs N              job count (default 1000)
   --nodes N             cluster size (default 8)
-  --devices N           Xeon Phi cards per node (default 1)
+  --devices SPEC        Xeon Phi cards per node: a count N (default 1,
+                        homogeneous default card) or a fleet spec like
+                        2x5110P+1x7120P (generations 3120A | 5110P |
+                        7120P; see docs/heterogeneity.md)
+  --mem-bw-contention   enable the per-card memory-bandwidth contention
+                        model: resident jobs' declared shares past the
+                        saturation budget slow the card, and MCCK
+                        placement becomes interference-aware (off by
+                        default so calibrated outputs reproduce
+                        bit-identically)
+  --mem-bw-saturation X fraction of a card's aggregate memory bandwidth
+                        usable before contention kicks in (default 0.5;
+                        only meaningful with --mem-bw-contention)
   --seed N              experiment + workload seed (default 42)
   --arrival-rate R      Poisson arrivals at R jobs/s instead of a batch
   --negotiation-interval S   Condor cycle seconds (default 5)
@@ -169,7 +182,20 @@ cluster::ExperimentConfig cluster_config_from_args(const ArgParser& args,
                                                    std::uint64_t seed) {
   cluster::ExperimentConfig config;
   config.node_count = static_cast<std::size_t>(args.get_int_or("nodes", 8));
-  config.node_hw.phi_devices = static_cast<int>(args.get_int_or("devices", 1));
+  // --devices: a bare count keeps the homogeneous default card; anything
+  // else is a fleet spec ("2x5110P+2x7120P", phi::parse_device_spec).
+  const std::string devices = args.get_or("devices", "1");
+  if (devices.find_first_not_of("0123456789") == std::string::npos &&
+      !devices.empty()) {
+    config.node_hw.phi_devices =
+        static_cast<int>(args.get_int_or("devices", 1));
+  } else {
+    config.devices = phi::parse_device_spec(devices);
+    config.node_hw.phi_devices = static_cast<int>(config.devices.size());
+  }
+  config.mem_bw.contention = args.get_bool_or("mem-bw-contention", false);
+  config.mem_bw.saturation =
+      args.get_real_or("mem-bw-saturation", config.mem_bw.saturation);
   config.seed = seed;
   config.negotiation_interval = args.get_real_or("negotiation-interval", 5.0);
   config.negotiation =
@@ -298,7 +324,8 @@ int main(int argc, char** argv) {
         {"stack", "compare", "workload", "jobs", "nodes", "devices", "seed",
          "arrival-rate", "negotiation-interval", "negotiation", "overcommit",
          "series", "csv", "save-jobs", "load-jobs", "metrics-out",
-         "events-out", "metrics-filter", "pcie-contention", "pcie-bandwidth",
+         "events-out", "metrics-filter", "mem-bw-contention",
+         "mem-bw-saturation", "pcie-contention", "pcie-bandwidth",
          "pcie-switch", "pcie-switch-bandwidth", "parallel-shards", "serve",
          "arrivals", "horizon", "sla-interval", "sla-out", "admit-queue",
          "admit-occupancy", "admit-defer", "admit-max-defers", "admit-packer",

@@ -13,8 +13,8 @@
 //
 // Rules (see docs/static-analysis.md for the rationale):
 //   unordered-iter     iteration over std::unordered_{map,set,...} in a
-//                      decision path (sim/ phi/ cosmic/ condor/ cluster/,
-//                      or any file named sharded*)
+//                      decision path (sim/ phi/ cosmic/ condor/ cluster/
+//                      core/, or any file named sharded*)
 //   wall-clock         wall-clock / global-PRNG calls (rand, time, clock,
 //                      random_device, system_clock, ...) outside common/rng
 //   pointer-key        std::map / std::set keyed by a raw pointer
@@ -193,8 +193,10 @@ struct FileText {
 
 /// Directories whose contents count as "decision paths": code here feeds
 /// scheduling and event-ordering decisions, so iteration-order hazards are
-/// correctness bugs, not style. Files named sharded*, strategy*, or batch*
-/// qualify wherever they live — the parallel engine's merge
+/// correctness bugs, not style. core/ joined the list with the
+/// interference-aware add-on: its device views and bandwidth trims pick
+/// placements, so they carry the same bit-identical promise. Files named
+/// sharded*, strategy*, or batch* qualify wherever they live — the parallel engine's merge
 /// (sim/sharded*), the matchmaking strategies (condor/strategy*), and the
 /// batch packer (knapsack/batch*) all promise bit-identical decisions from
 /// a given snapshot, so moving such a file out of its directory must not
@@ -208,7 +210,7 @@ bool path_is_decision(const fs::path& p) {
   for (const auto& part : p) {
     const std::string s = part.string();
     if (s == "sim" || s == "phi" || s == "cosmic" || s == "condor" ||
-        s == "cluster") {
+        s == "cluster" || s == "core") {
       return true;
     }
   }
