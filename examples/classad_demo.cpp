@@ -5,6 +5,7 @@
 
 #include "classad/classad.hpp"
 #include "classad/eval.hpp"
+#include "classad/lexer.hpp"
 #include "classad/parser.hpp"
 
 using namespace phisched::classad;

@@ -4,8 +4,9 @@
 #include <sstream>
 
 #include "classad/eval.hpp"
+#include "classad/lexer.hpp"
 #include "classad/parser.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::classad {
 

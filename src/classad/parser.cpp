@@ -1,8 +1,9 @@
 #include "classad/parser.hpp"
 
+#include "classad/lexer.hpp"
+
 #include <utility>
 
-#include "common/error.hpp"
 
 namespace phisched::classad {
 

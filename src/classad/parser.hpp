@@ -19,7 +19,6 @@
 #include <string_view>
 
 #include "classad/ast.hpp"
-#include "classad/lexer.hpp"
 
 namespace phisched::classad {
 

@@ -1,6 +1,6 @@
 #include "cluster/admission.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::cluster {
 

@@ -1,7 +1,7 @@
 #include "cluster/footprint.hpp"
 
 #include "cluster/harness.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/threadpool.hpp"
 
 namespace phisched::cluster {

@@ -7,7 +7,7 @@
 
 #include "cluster/jobrun.hpp"
 #include "cluster/node.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "condor/ads.hpp"
 #include "condor/negotiator.hpp"
 #include "core/addon.hpp"

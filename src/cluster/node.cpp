@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "condor/ads.hpp"
 
 namespace phisched::cluster {

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::cluster {
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "workload/templates.hpp"
 

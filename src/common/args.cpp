@@ -4,7 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

@@ -1,8 +1,10 @@
 // Error types and throw helpers for the contract layer.
 //
 // The PHISCHED_CHECK / PHISCHED_REQUIRE / PHISCHED_DCHECK macros themselves
-// live in common/check.hpp (included at the bottom for compatibility: every
-// existing `#include "common/error.hpp"` keeps seeing the macros).
+// live in common/check.hpp; include that header (it pulls this one in) to
+// use them. This header used to re-include check.hpp at the bottom for
+// compatibility, which made the two headers an include cycle — the lint's
+// include-cycle rule now keeps that from coming back.
 #pragma once
 
 #include <stdexcept>
@@ -24,5 +26,3 @@ namespace detail {
 }  // namespace detail
 
 }  // namespace phisched
-
-#include "common/check.hpp"  // IWYU pragma: export — the contract macros

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

@@ -14,7 +14,6 @@
 #include <array>
 #include <cstddef>
 
-#include "common/types.hpp"
 
 namespace phisched {
 

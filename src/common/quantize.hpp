@@ -6,7 +6,7 @@
 // generators round sampled memory requirements.
 #pragma once
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace phisched {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace phisched {
 
 std::uint64_t splitmix64(std::uint64_t& state) {

@@ -11,7 +11,6 @@
 #include <string_view>
 #include <vector>
 
-#include "common/error.hpp"
 
 namespace phisched {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

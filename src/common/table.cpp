@@ -5,7 +5,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::condor {
 

@@ -1,7 +1,6 @@
 #include "condor/negotiator.hpp"
 
-#include "common/error.hpp"
-#include "common/log.hpp"
+#include "common/check.hpp"
 #include "condor/ads.hpp"
 
 namespace phisched::condor {

@@ -1,7 +1,7 @@
 #include "condor/schedd.hpp"
 
 #include "classad/parser.hpp"
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/json.hpp"
 
 namespace phisched::condor {
@@ -42,6 +42,9 @@ void Schedd::attach_telemetry(obs::Recorder& recorder,
 void Schedd::note_terminal(const JobRecord& rec, const char* type) {
   if (obs_.rec == nullptr) return;
   const SimTime turnaround = rec.finish_time - rec.submit_time;
+  // The event type flows in as a parameter, so the schema extractor
+  // cannot see the names; declare them for the lint's telemetry pass.
+  // phisched-lint: emits(event job_completed, event job_failed)
   obs_.rec->event(sim_.now(), type,
                   {{"job", std::to_string(rec.id)},
                    {"node", std::to_string(rec.node)},

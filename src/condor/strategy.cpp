@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <set>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "condor/ads.hpp"
 #include "knapsack/batch.hpp"
 #include "knapsack/value.hpp"

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 

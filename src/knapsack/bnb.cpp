@@ -4,7 +4,7 @@
 #include <numeric>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/quantize.hpp"
 
 namespace phisched::knapsack {

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/quantize.hpp"
 
 namespace phisched::knapsack {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/quantize.hpp"
 
 namespace phisched::knapsack {

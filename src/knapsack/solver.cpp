@@ -1,6 +1,6 @@
 #include "knapsack/solver.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "knapsack/bnb.hpp"
 #include "knapsack/dp1d.hpp"
 #include "knapsack/dp2d.hpp"

@@ -3,7 +3,7 @@
 #include <cctype>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::phi {
 

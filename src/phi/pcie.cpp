@@ -4,7 +4,7 @@
 #include <cmath>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "phi/pcie_switch.hpp"
 
 namespace phisched::phi {

@@ -4,7 +4,7 @@
 #include <limits>
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/threadpool.hpp"
 
 namespace phisched {

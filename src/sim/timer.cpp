@@ -1,6 +1,6 @@
 #include "sim/timer.hpp"
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched {
 

@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::workload {
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 #include "common/quantize.hpp"
 
 namespace phisched::workload {

@@ -8,7 +8,7 @@
 #include <sstream>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::workload {
 

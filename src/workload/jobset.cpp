@@ -1,6 +1,5 @@
 #include "workload/jobset.hpp"
 
-#include "common/error.hpp"
 #include "workload/templates.hpp"
 
 namespace phisched::workload {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 namespace phisched::workload {
 

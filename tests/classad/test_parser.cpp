@@ -1,3 +1,4 @@
+#include "classad/lexer.hpp"
 #include "classad/parser.hpp"
 
 #include <gtest/gtest.h>

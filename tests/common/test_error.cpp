@@ -1,4 +1,4 @@
-#include "common/error.hpp"
+#include "common/check.hpp"
 
 #include <gtest/gtest.h>
 

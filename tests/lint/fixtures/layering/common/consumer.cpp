@@ -1,0 +1,10 @@
+// Lint fixture: unused-include. Lint fodder for tests/lint_fixtures.cmake
+// — never compiled. used.hpp contributes UsedThing (credited),
+// unused_extra.hpp contributes nothing this file mentions (flagged), and
+// legacy.hpp is the same shape but suppressed at the include site.
+#include "used.hpp"
+#include "unused_extra.hpp"  // line 6: unused-include (ExtraThing never used)
+// phisched-lint: allow(unused-include)  (kept for a pending refactor)
+#include "legacy.hpp"
+
+UsedThing make_used() { return {}; }

@@ -1,0 +1,8 @@
+// Lint fixture: a header consumer.cpp includes but never uses, with an
+// allow(unused-include) at the include site — the finding is suppressed
+// but still counted. Never compiled.
+#pragma once
+
+struct LegacyThing {
+  int value = 0;
+};

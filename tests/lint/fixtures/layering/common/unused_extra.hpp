@@ -1,0 +1,7 @@
+// Lint fixture: a header consumer.cpp includes but never uses — the
+// include is flagged unused-include. Never compiled.
+#pragma once
+
+struct ExtraThing {
+  int value = 0;
+};

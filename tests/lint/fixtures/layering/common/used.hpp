@@ -1,0 +1,7 @@
+// Lint fixture: a header consumer.cpp genuinely uses — its include must
+// NOT be flagged as unused-include. Never compiled.
+#pragma once
+
+struct UsedThing {
+  int value = 0;
+};

@@ -1,0 +1,11 @@
+// Lint fixture: the cosmic-layer header that phi/uplink.hpp illegally
+// includes. Lint fodder for tests/lint_fixtures.cmake — never compiled.
+#pragma once
+
+namespace fixture_cosmic {
+
+struct Middleware {
+  int queue_depth = 0;
+};
+
+}  // namespace fixture_cosmic

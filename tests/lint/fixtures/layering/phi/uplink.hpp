@@ -1,0 +1,18 @@
+// Lint fixture: layering. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. phi/ sits BELOW cosmic/ in the architecture DAG
+// (cosmic orchestrates phi devices, not the other way around), so a phi
+// header reaching up into cosmic/ inverts the dependency. Both includes
+// below cross the DAG; the second carries an allow() and is suppressed.
+#pragma once
+
+#include "../cosmic/mw.hpp"  // line 8: layering (phi -> cosmic climbs the DAG)
+// phisched-lint: allow(layering)  (grandfathered edge, tracked elsewhere)
+#include "../cosmic/mw.hpp"
+
+namespace fixture_phi {
+
+inline int probe(const fixture_cosmic::Middleware& mw) {
+  return mw.queue_depth;
+}
+
+}  // namespace fixture_phi

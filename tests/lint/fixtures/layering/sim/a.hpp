@@ -1,0 +1,17 @@
+// Lint fixture: include-cycle (1/2). Lint fodder for
+// tests/lint_fixtures.cmake — never compiled. a.hpp and b.hpp include
+// each other; the guards make it compile, but the cycle still pins build
+// order and makes refactors fragile, so the lint bans it outright. The
+// finding is anchored at the lexicographically-smallest member (this
+// file), on its include of the other member.
+#pragma once
+
+#include "b.hpp"  // line 9: include-cycle (a.hpp <-> b.hpp)
+
+namespace fixture_sim {
+
+struct A {
+  B* peer = nullptr;
+};
+
+}  // namespace fixture_sim

@@ -1,0 +1,12 @@
+// Lint fixture: include-cycle (2/2) — see a.hpp. Never compiled.
+#pragma once
+
+#include "a.hpp"
+
+namespace fixture_sim {
+
+struct B {
+  A* peer = nullptr;
+};
+
+}  // namespace fixture_sim

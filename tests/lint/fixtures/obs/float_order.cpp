@@ -1,0 +1,43 @@
+// Lint fixture: float-order. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. This file lives OUTSIDE the decision paths (obs/ is
+// report-side code) to pin down that float-order fires everywhere:
+// floating-point addition is not associative, so a sum taken in
+// hash-table iteration order changes bits between runs even when the
+// addends are identical — which breaks byte-identical exports.
+// unordered-iter must stay quiet here (not a decision path); the
+// accumulation itself is the finding. Line numbers are asserted.
+#include <numeric>
+#include <unordered_map>
+
+double export_total(const std::unordered_map<int, double>& samples) {
+  double sum = 0.0;
+  for (const auto& [key, value] : samples) {  // line 14: float-order
+    sum += value;
+  }
+  return sum;
+}
+
+double documented_tolerant_total(const std::unordered_map<int, double>& m) {
+  double sum = 0.0;
+  // The consumer rounds to whole units, so bit drift is acceptable here.
+  // phisched-lint: allow(float-order)  (suppresses the loop on line 24)
+  for (const auto& [key, value] : m) {
+    sum += value;
+  }
+  return sum;
+}
+
+double accumulate_total(const std::unordered_map<int, double>& samples) {
+  return std::accumulate(samples.begin(), samples.end(), 0.0,  // line 31
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}
+
+// Negative control: an integral accumulator is order-independent, so the
+// same loop shape over the same container must not be flagged.
+long count_total(const std::unordered_map<int, long>& samples) {
+  long n = 0;
+  for (const auto& [key, value] : samples) n += value;
+  return n;
+}

@@ -2,7 +2,10 @@
 // under a decision-path directory (sim/ phi/ cosmic/ condor/ cluster/), so
 // the path-scoped rules (unordered-iter, schedule-tiebreak) must stay quiet
 // even though both patterns appear below. Path-independent rules would
-// still fire, so this file deliberately contains none of their triggers.
+// still fire, so this file deliberately contains none of their triggers —
+// in particular the reduction below accumulates into an *integral* total,
+// because float-order fires everywhere (fp addition in hash order breaks
+// byte-identical exports even in report-only code).
 #include <algorithm>
 #include <unordered_map>
 #include <vector>
@@ -11,8 +14,8 @@ struct Sample {
   double time = 0.0;
 };
 
-double report_total(const std::unordered_map<int, double>& counters) {
-  double sum = 0.0;
+long report_total(const std::unordered_map<int, long>& counters) {
+  long sum = 0;
   for (const auto& [key, value] : counters) sum += value;  // report-only code
   return sum;
 }

@@ -1,0 +1,32 @@
+// Lint fixture: telemetry-schema pass. Lint fodder for
+// tests/lint_fixtures.cmake — never compiled. Exercised by a separate
+// phisched_lint invocation with --schema-docs/--golden pointed at the
+// sibling telemetry.md and golden/ so the cross-check rules fire in
+// isolation from the real repo schema.
+//
+// Expected: the concatenated counter and both events are documented; the
+// gauge name is misspelled (schema-undocumented); the second annotation
+// uses a bogus kind (schema-undocumented, malformed).
+#include <string>
+
+struct Reg {
+  void counter(const std::string&, double) {}
+  void gauge(const std::string&, double) {}
+  void event(double, const std::string&, int) {}
+};
+
+void register_device(Reg& r, int d) {
+  r.counter("phi.node0.mic" + std::to_string(d) + ".oversub_episodes", 1);
+  r.gauge("phi.node0.mic0.oom_kils", 0);  // line 20: schema-undocumented (typo)
+  r.event(0.0, "job_completed", 42);
+}
+
+void forward_failure(Reg& r, const std::string& type) {
+  // The event type flows in as a parameter, so the extractor cannot see
+  // the name; the annotation below declares it.
+  // phisched-lint: emits(event job_failed)
+  r.event(0.0, type, 0);
+}
+
+// line 32: schema-undocumented (malformed annotation — bogus kind)
+// phisched-lint: emits(tempo job_lost)

@@ -1,0 +1,33 @@
+// Lint fixture: rng-discipline. Lint fodder for tests/lint_fixtures.cmake —
+// never compiled. Randomness outside common/rng's seeded-engine plumbing
+// breaks run-to-run reproducibility; std::shuffle is additionally
+// implementation-defined even with a seeded engine. Line numbers are
+// asserted by the test.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+int hardware_seed() {
+  std::random_device rd;  // line 11: rng-discipline (anywhere token)
+  return static_cast<int>(rd());
+}
+
+void scramble(std::vector<int>& v) {
+  std::mt19937 gen(42);                 // line 16: rng-discipline
+  std::shuffle(v.begin(), v.end(), gen);  // line 17: rng-discipline
+}
+
+int documented_legacy_seed() {
+  // phisched-lint: allow(rng-discipline)  (suppresses line 22)
+  return rand();
+}
+
+// Negative controls: member access and foreign qualifiers are not the
+// C library / <random> — the rule must stay quiet on all of these.
+struct FakeEngine {
+  int rand() const { return 4; }
+  static int random() { return 4; }
+};
+int negative_controls(const FakeEngine& e) {
+  return e.rand() + FakeEngine::random();
+}

@@ -1,10 +1,10 @@
-// Lint fixture: wall-clock. Lint fodder for tests/lint_fixtures.cmake —
-// never compiled. Line numbers are asserted by the test.
+// Lint fixture: wall-clock + rng-discipline. Lint fodder for
+// tests/lint_fixtures.cmake — never compiled. Line numbers are asserted.
 #include <cstdlib>
 #include <ctime>
 
 long jitter_seed() {
-  return time(nullptr) + rand();  // line 7: two violations
+  return time(nullptr) + rand();  // line 7: wall-clock AND rng-discipline
 }
 
 long logged_wall_clock() {

@@ -1,0 +1,6 @@
+// Lint fixture: backslash-continued line comments — this comment ends \
+   with a backslash, so time(nullptr) here and rand() here are still \
+   comment text and must not fire. Never compiled.
+long real_seed() {
+  return time(nullptr);  // line 5: wall-clock (scanner recovered)
+}

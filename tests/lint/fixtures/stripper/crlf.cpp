@@ -1,0 +1,5 @@
+// Lint fixture: CRLF line endings - every line here ends in \r\n.
+// A comment mentioning time(nullptr) stays a comment across CRLF.
+long crlf_seed() {
+  return time(nullptr);  // line 4: wall-clock
+}

@@ -1,0 +1,10 @@
+// Lint fixture: raw-string hardening. Every violation token below lives
+// inside a raw-string body (plain, prefixed, and one with a )"-lookalike
+// in the middle) and must not fire; the real call at the end pins that
+// the scanner's string state recovered. Never compiled.
+const char* plain = R"(time(nullptr) + rand() via std::system_clock)";
+const char* prefixed = u8R"ph(std::mt19937 gen(std::random_device{}());)ph";
+const char* tricky = R"xy(a quote " and a fake close )" still inside)xy";
+long after_raw() {
+  return time(nullptr);  // line 9: wall-clock (the only finding here)
+}

@@ -1,0 +1,30 @@
+# Keeps docs/architecture.md literally in sync with the layer DAG the lint
+# enforces: `phisched_lint --list-layers` prints the dependency table, and
+# the doc must contain that exact text (inside its fenced block). Editing
+# either side without the other fails this test.
+#
+# Invoked by ctest as:
+#   cmake -DLINT=<phisched_lint> -DDOC=<repo>/docs/architecture.md
+#         -P lint_layer_sync.cmake
+
+execute_process(
+  COMMAND ${LINT} --list-layers
+  OUTPUT_VARIABLE table
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-layers: expected exit 0, got ${rc}")
+endif()
+if(table STREQUAL "")
+  message(FATAL_ERROR "--list-layers printed nothing")
+endif()
+
+file(READ ${DOC} doc)
+string(FIND "${doc}" "${table}" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR
+    "docs/architecture.md is out of sync with the enforced layer DAG.\n"
+    "`phisched_lint --list-layers` prints:\n${table}\n"
+    "Paste that table verbatim into the 'Enforced layer DAG' block of ${DOC}.")
+endif()
+
+message(STATUS "layer table in docs/architecture.md matches --list-layers")

@@ -1,0 +1,68 @@
+# Whole-tree lint gate. Two invocations:
+#
+#   1. the bare repo gate `phisched_lint src` — pointing the tool at a
+#      directory named src auto-discovers ../docs/telemetry.md and
+#      ../bench/golden, so this one exit code covers the determinism
+#      pattern rules, the architecture-layer DAG over the include graph,
+#      AND the telemetry-schema cross-check (extracted names vs the
+#      documented schema vs the golden bench metrics). Any drift between
+#      code, docs/telemetry.md, and bench/golden fails here.
+#   2. the same gate with --graph-out/--schema-out, producing the
+#      include-graph DOT and extracted-schema JSON artifacts that CI
+#      uploads; both are sanity-checked.
+#
+# Invoked by ctest as:
+#   cmake -DLINT=<phisched_lint> -DSRC=<repo>/src -DWORKDIR=<scratch>
+#         -P lint_tree.cmake
+
+function(assert_contains haystack needle what)
+  string(FIND "${haystack}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "${what}: expected to find '${needle}' in:\n${haystack}")
+  endif()
+endfunction()
+
+# --- 1. the bare gate ------------------------------------------------------
+execute_process(
+  COMMAND ${LINT} ${SRC}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "phisched_lint src: expected exit 0 (no unsuppressed findings, schema "
+    "in sync with docs/telemetry.md and bench/golden), got ${rc}\n${out}${err}")
+endif()
+assert_contains("${out}" "0 finding(s), 0 suppressed" "tree gate summary")
+
+# --- 2. artifacts ----------------------------------------------------------
+set(dot ${WORKDIR}/include_graph.dot)
+set(schema ${WORKDIR}/telemetry_schema.json)
+execute_process(
+  COMMAND ${LINT} ${SRC} --graph-out ${dot} --schema-out ${schema}
+  OUTPUT_VARIABLE aout
+  ERROR_VARIABLE aerr
+  RESULT_VARIABLE arc)
+if(NOT arc EQUAL 0)
+  message(FATAL_ERROR "artifact run: expected exit 0, got ${arc}\n${aout}${aerr}")
+endif()
+
+if(NOT EXISTS ${dot})
+  message(FATAL_ERROR "--graph-out did not write ${dot}")
+endif()
+file(READ ${dot} dot_text)
+assert_contains("${dot_text}" "digraph includes" "dot header")
+assert_contains("${dot_text}" "label=\"sim\"" "dot layer clusters")
+assert_contains("${dot_text}" "->" "dot edges")
+
+if(NOT EXISTS ${schema})
+  message(FATAL_ERROR "--schema-out did not write ${schema}")
+endif()
+file(READ ${schema} schema_text)
+assert_contains("${schema_text}" "\"tool\": \"phisched_lint\"" "schema header")
+assert_contains("${schema_text}" "\"schema_version\": 2" "schema version")
+assert_contains("${schema_text}" "\"kind\": \"counter\"" "schema counters present")
+assert_contains("${schema_text}" "\"kind\": \"event\"" "schema events present")
+assert_contains("${schema_text}" "oversub_episodes" "a known metric extracted")
+
+message(STATUS "lint tree gate + artifacts passed")

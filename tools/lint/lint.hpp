@@ -1,0 +1,145 @@
+// phisched_lint — shared types and helpers for the multi-pass analyzer.
+//
+// The tool grew from a single-pass pattern scanner into a whole-program
+// analyzer with three pass families, each in its own translation unit:
+//
+//   rules.cpp          per-file determinism pattern rules (unordered-iter,
+//                      wall-clock, rng-discipline, pointer-key,
+//                      nontotal-sort, schedule-tiebreak, float-order)
+//   include_graph.cpp  whole-program include graph: the architecture layer
+//                      DAG (`layering`), file-level `include-cycle`s,
+//                      `unused-include` pruning, and --graph-out DOT
+//   schema.cpp         telemetry-schema extraction from obs::Recorder /
+//                      obs::Registry registration calls, cross-checked
+//                      against docs/telemetry.md and bench/golden
+//                      (`schema-undocumented`, `schema-orphan`,
+//                      `schema-golden`), and --schema-out JSON
+//
+// source.cpp holds the shared lexing layer: the comment/string stripper
+// (hardened against raw strings, CRLF, and backslash line continuations),
+// offset→line mapping, and small token helpers every pass uses.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phisched::lint {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// One loaded source file, pre-lexed once for every pass.
+struct FileText {
+  std::string path;     // as reported (generic, matches the CLI argument)
+  std::string rel;      // include-name: path relative to its root, with a
+                        // leading "src/" component stripped
+  std::string root;     // basename of the root argument this file came from
+  std::string raw;      // original bytes
+  std::string code;     // comments, strings, and char literals blanked
+  std::string code_strings;  // comments blanked, string literals KEPT
+  std::vector<std::size_t> line_starts;
+  bool decision_path = false;
+  bool rng_file = false;        // common/rng owns the one random_device use
+  bool timing_exempt = false;   // bench/ and tools/ time their own walls
+
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+  /// Raw text of a 1-based line (empty when out of range), CR/LF trimmed.
+  [[nodiscard]] std::string_view raw_line(std::size_t line) const;
+};
+
+// --------------------------------------------------------------------------
+// source.cpp — lexing layer
+// --------------------------------------------------------------------------
+
+/// Blanks comments (and, unless keep_strings, string/char literals) with
+/// spaces while preserving every line break, so offsets keep mapping to
+/// line numbers and tokens never match inside quoted or commented text.
+/// Handles raw string literals (R"(...)", including u8/u/U/L prefixes),
+/// CRLF line endings, and backslash line continuations (a line comment
+/// whose physical line ends in `\` continues onto the next line, exactly
+/// as the C++ phase-2 splice makes it).
+[[nodiscard]] std::string sanitize(const std::string& text, bool keep_strings);
+
+/// Loads and pre-lexes one file. Returns false (with a message on stderr)
+/// when the file cannot be read.
+[[nodiscard]] bool load_file(const fs::path& path, const std::string& rel,
+                             const std::string& root, FileText& out);
+
+[[nodiscard]] bool is_ident_char(char c);
+[[nodiscard]] bool is_ident_start(char c);
+[[nodiscard]] std::size_t skip_spaces(const std::string& s, std::size_t pos);
+/// Skips a balanced <...> starting at `pos` (which must point at '<').
+/// Returns the offset just past the matching '>', or npos on imbalance.
+[[nodiscard]] std::size_t skip_angles(const std::string& s, std::size_t pos);
+/// Skips a balanced bracket pair ((), [], {}) starting at `pos` (which
+/// must point at the opener). Returns the offset just past the closer.
+[[nodiscard]] std::size_t skip_balanced(const std::string& s, std::size_t pos,
+                                        char open, char close);
+/// The identifier ending just before `pos` (skipping trailing spaces), or
+/// empty. Used to inspect `::` qualifiers and member-access receivers.
+[[nodiscard]] std::string ident_before(const std::string& s, std::size_t pos);
+[[nodiscard]] bool contains_word(const std::string& s, const std::string& word);
+
+/// Rules allowed on `line` by a `// phisched-lint: allow(...)` marker on
+/// the same line or the line immediately above.
+[[nodiscard]] bool is_suppressed(const FileText& f, std::size_t line,
+                                 const std::string& rule);
+
+// --------------------------------------------------------------------------
+// rules.cpp — per-file determinism pattern rules
+// --------------------------------------------------------------------------
+
+void scan_pattern_rules(const FileText& f, std::vector<Finding>& out);
+
+// --------------------------------------------------------------------------
+// include_graph.cpp — layering / include-cycle / unused-include passes
+// --------------------------------------------------------------------------
+
+/// The enforced architecture layer table, exactly as printed by
+/// --list-layers and mirrored in docs/architecture.md (the
+/// lint_layer_sync test diffs the two).
+[[nodiscard]] std::string layer_table_text();
+
+/// Runs the whole-program include passes over every loaded file.
+/// When `dot_out` is non-empty, writes the project include graph as DOT.
+/// Returns false (with a message on stderr) on an I/O error writing DOT.
+[[nodiscard]] bool run_include_passes(const std::vector<FileText>& files,
+                                      const std::string& dot_out,
+                                      std::vector<Finding>& out);
+
+// --------------------------------------------------------------------------
+// schema.cpp — telemetry-schema extraction and cross-checks
+// --------------------------------------------------------------------------
+
+struct SchemaOptions {
+  std::string docs_path;    // docs/telemetry.md (empty = no cross-check)
+  std::vector<std::string> golden_paths;  // BENCH_*.json files
+  std::string schema_out;   // --schema-out destination (empty = none)
+};
+
+/// Extracts every metric/event name pattern flowing into obs::Recorder /
+/// obs::Registry registration calls (plus `phisched-lint: emits` comment
+/// annotations for names emitted through an indirection), cross-checks
+/// the set against the telemetry-schema block in `docs_path` and the
+/// metric names in the golden bench files, and optionally writes the
+/// extracted schema as JSON. Returns false on an I/O error.
+[[nodiscard]] bool run_schema_pass(const std::vector<FileText>& files,
+                                   const SchemaOptions& opts,
+                                   std::vector<Finding>& out);
+
+}  // namespace phisched::lint

@@ -1,0 +1,712 @@
+// phisched_lint — per-file determinism pattern rules.
+//
+// Every equivalence suite in this repo (SwitchOffEquivalence, harness
+// step-vs-oneshot, telemetry identity, the golden bench gates) relies on
+// the discrete-event core being bit-identical across runs, seeds, and
+// snapshot interleavings. That property depends on coding rules nothing
+// in the compiler enforces: no iteration order leaking out of unordered
+// containers into decisions, no wall-clock or unseeded-PRNG calls inside
+// the simulation, no pointer-keyed ordered containers, total comparators
+// with explicit tie-breaks wherever events are ordered, and no
+// floating-point reductions in hash order (fp addition is not
+// associative, so the *bits* of a sum depend on iteration order even
+// when the set of addends is fixed).
+
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace phisched::lint {
+
+namespace {
+
+/// All identifiers declared in this file as unordered containers
+/// (members, locals, parameters): `std::unordered_map<K, V> name...`.
+std::vector<std::string> unordered_decls(const std::string& code) {
+  std::vector<std::string> names;
+  static const std::string_view kKinds[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (std::string_view kind : kKinds) {
+    std::size_t pos = 0;
+    while ((pos = code.find(kind, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += kind.size();
+      if ((start > 0 && is_ident_char(code[start - 1])) ||
+          (pos < code.size() && is_ident_char(code[pos]))) {
+        continue;  // substring of a longer identifier
+      }
+      std::size_t p = skip_spaces(code, pos);
+      if (p >= code.size() || code[p] != '<') continue;
+      p = skip_angles(code, p);
+      if (p == std::string::npos) continue;
+      p = skip_spaces(code, p);
+      if (code.compare(p, 2, "::") == 0) continue;  // ::iterator etc.
+      // Reference/pointer declarators and cv come between type and name.
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
+        p = skip_spaces(code, p + 1);
+      }
+      if (code.compare(p, 5, "const") == 0 && !is_ident_char(code[p + 5])) {
+        p = skip_spaces(code, p + 5);
+      }
+      std::size_t q = p;
+      while (q < code.size() && is_ident_char(code[q])) ++q;
+      if (q > p && is_ident_start(code[p])) names.push_back(code.substr(p, q - p));
+      pos = q;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// A range-for whose range expression iterates an unordered container.
+struct UnorderedLoop {
+  std::size_t offset = 0;      // of the `for` keyword
+  std::string range;           // the range expression text
+  std::size_t body_begin = 0;  // first offset of the loop body
+  std::size_t body_end = 0;    // one past the last offset of the body
+  std::string what;            // "expression" or "'name'" for messages
+};
+
+/// Finds every range-for over an unordered container: the range
+/// expression either mentions an unordered_* type directly or names an
+/// identifier declared as an unordered container in this file.
+std::vector<UnorderedLoop> find_unordered_loops(
+    const std::string& code, const std::vector<std::string>& vars) {
+  std::vector<UnorderedLoop> loops;
+  std::size_t pos = 0;
+  while ((pos = code.find("for", pos)) != std::string::npos) {
+    const std::size_t kw = pos;
+    pos += 3;
+    if ((kw > 0 && is_ident_char(code[kw - 1])) ||
+        (pos < code.size() && is_ident_char(code[pos]))) {
+      continue;
+    }
+    std::size_t p = skip_spaces(code, pos);
+    if (p >= code.size() || code[p] != '(') continue;
+    const std::size_t close = skip_balanced(code, p, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::string inside = code.substr(p + 1, close - p - 2);
+    // Top-level ':' (not '::') splits declaration from range expression.
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t i = 0; i < inside.size(); ++i) {
+      const char c = inside[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      else if (c == ':' && depth == 0) {
+        if ((i > 0 && inside[i - 1] == ':') ||
+            (i + 1 < inside.size() && inside[i + 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    UnorderedLoop loop;
+    loop.offset = kw;
+    loop.range = inside.substr(colon + 1);
+    if (loop.range.find("unordered_") != std::string::npos) {
+      loop.what = "expression";
+    } else {
+      for (const std::string& v : vars) {
+        if (contains_word(loop.range, v)) {
+          loop.what = "'" + v + "'";
+          break;
+        }
+      }
+      if (loop.what.empty()) continue;
+    }
+    // Body: a `{...}` block, or a single statement up to ';'.
+    std::size_t b = skip_spaces(code, close);
+    if (b < code.size() && code[b] == '{') {
+      const std::size_t be = skip_balanced(code, b, '{', '}');
+      if (be == std::string::npos) continue;
+      loop.body_begin = b + 1;
+      loop.body_end = be - 1;
+    } else {
+      const std::size_t semi = code.find(';', b);
+      if (semi == std::string::npos) continue;
+      loop.body_begin = b;
+      loop.body_end = semi;
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iter
+// ---------------------------------------------------------------------------
+void scan_unordered_iter(const FileText& f,
+                         const std::vector<std::string>& vars,
+                         const std::vector<UnorderedLoop>& loops,
+                         std::vector<Finding>& out) {
+  if (!f.decision_path) return;
+  const std::string& code = f.code;
+
+  auto flag = [&](std::size_t offset, const std::string& what) {
+    out.push_back({f.path, f.line_of(offset), "unordered-iter",
+                   "iteration over unordered container " + what +
+                       " in a decision path: iteration order is "
+                       "implementation-defined and must not feed simulator "
+                       "decisions (use std::map/std::vector, or copy and "
+                       "sort by a stable key first)"});
+  };
+
+  for (const UnorderedLoop& loop : loops) flag(loop.offset, loop.what);
+
+  // Iterator loops: <unordered var>.begin() / .cbegin() / .rbegin().
+  for (const std::string& v : vars) {
+    std::size_t vp = 0;
+    while ((vp = code.find(v, vp)) != std::string::npos) {
+      const std::size_t end = vp + v.size();
+      if ((vp > 0 && is_ident_char(code[vp - 1])) ||
+          (end < code.size() && is_ident_char(code[end]))) {
+        vp = end;
+        continue;
+      }
+      std::size_t p = skip_spaces(code, end);
+      if (p < code.size() && code[p] == '.') {
+        p = skip_spaces(code, p + 1);
+        for (std::string_view b : {"begin", "cbegin", "rbegin"}) {
+          if (code.compare(p, b.size(), b) == 0 &&
+              !is_ident_char(code[p + b.size()])) {
+            flag(vp, "'" + v + "'");
+            break;
+          }
+        }
+      }
+      vp = end;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: wall-clock and rng-discipline. Both scan identifier tokens and
+// share the member-access / qualifier logic; they differ in the token
+// tables, the exemption set, and the message.
+// ---------------------------------------------------------------------------
+struct TokenRule {
+  const char* rule;
+  const std::set<std::string, std::less<>>& call_only;
+  const std::set<std::string, std::less<>>& anywhere;
+  const char* message_tail;
+};
+
+void scan_token_rule(const FileText& f, const TokenRule& spec,
+                     std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (!is_ident_start(code[i])) {
+      ++i;
+      continue;
+    }
+    if (i > 0 && is_ident_char(code[i - 1])) {  // mid-identifier
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < code.size() && is_ident_char(code[end])) ++end;
+    const std::string tok = code.substr(i, end - i);
+    const bool call_only = spec.call_only.count(tok) > 0;
+    const bool anywhere = spec.anywhere.count(tok) > 0;
+    if (!call_only && !anywhere) {
+      i = end;
+      continue;
+    }
+    // Member access (obj.time(), ptr->clock()) is somebody else's API, and
+    // qualified names are only suspect under std:: / chrono:: / global ::.
+    bool member = false;
+    {
+      std::size_t p = i;
+      while (p > 0 && (code[p - 1] == ' ' || code[p - 1] == '\t')) --p;
+      if (p > 0 && code[p - 1] == '.') member = true;
+      if (p > 1 && code[p - 1] == '>' && code[p - 2] == '-') member = true;
+      if (p > 1 && code[p - 1] == ':' && code[p - 2] == ':') {
+        const std::string qualifier = ident_before(code, p - 2);
+        if (!(qualifier.empty() || qualifier == "std" ||
+              qualifier == "chrono")) {
+          member = true;  // SomeClass::time — a member, not libc
+        }
+      }
+    }
+    if (member) {
+      i = end;
+      continue;
+    }
+    if (call_only) {
+      const std::size_t p = skip_spaces(code, end);
+      if (p >= code.size() || code[p] != '(') {
+        i = end;
+        continue;
+      }
+      // `int rand() const` declares a member named rand — not a call.
+      // A call never directly follows another identifier; the exceptions
+      // are expression keywords (`return rand()`, `case`, `throw`, ...).
+      std::size_t q = i;
+      while (q > 0 && (code[q - 1] == ' ' || code[q - 1] == '\t')) --q;
+      if (q > 0 && is_ident_char(code[q - 1])) {
+        static const std::set<std::string, std::less<>> kExprKeywords = {
+            "return", "co_return", "co_yield", "co_await",
+            "throw",  "case",      "else",     "do"};
+        if (kExprKeywords.count(ident_before(code, q)) == 0) {
+          i = end;
+          continue;
+        }
+      }
+    }
+    out.push_back({f.path, f.line_of(i), spec.rule,
+                   "call to '" + tok + "': " + spec.message_tail});
+    i = end;
+  }
+}
+
+void scan_wall_clock(const FileText& f, std::vector<Finding>& out) {
+  if (f.rng_file || f.timing_exempt) return;
+  static const std::set<std::string, std::less<>> kCallOnly = {
+      "time", "clock", "gettimeofday", "clock_gettime"};
+  static const std::set<std::string, std::less<>> kAnywhere = {
+      "system_clock", "steady_clock", "high_resolution_clock", "localtime",
+      "gmtime"};
+  scan_token_rule(
+      f,
+      {"wall-clock", kCallOnly, kAnywhere,
+       "wall-clock time breaks run-to-run reproducibility — simulator code "
+       "must read time from Simulator::now() (bench/ and tools/ harnesses, "
+       "which time the simulator from outside, are exempt)"},
+      out);
+}
+
+void scan_rng_discipline(const FileText& f, std::vector<Finding>& out) {
+  if (f.rng_file) return;  // common/rng owns the seeded-engine plumbing
+  static const std::set<std::string, std::less<>> kCallOnly = {
+      "rand",    "srand",   "random",  "drand48", "erand48",
+      "lrand48", "nrand48", "mrand48", "jrand48", "shuffle",
+      "random_shuffle"};
+  static const std::set<std::string, std::less<>> kAnywhere = {
+      "random_device", "mt19937",      "mt19937_64", "minstd_rand",
+      "minstd_rand0",  "ranlux24",     "ranlux48",   "knuth_b",
+      "default_random_engine"};
+  scan_token_rule(
+      f,
+      {"rng-discipline", kCallOnly, kAnywhere,
+       "randomness outside the seeded-engine plumbing breaks run-to-run "
+       "reproducibility — every random stream must derive from "
+       "ExperimentConfig::seed via common/rng (seeded SplitMix/Xoshiro "
+       "child splits); std::shuffle's output is also "
+       "implementation-defined, so even a seeded engine does not make it "
+       "portable"},
+      out);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-order
+// ---------------------------------------------------------------------------
+/// Identifiers declared with a floating-point type in this file
+/// (`double x`, `float x`, `auto x = 0.0`, ...).
+std::set<std::string> float_decls(const std::string& code) {
+  std::set<std::string> names;
+  for (std::string_view type : {"double", "float"}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(type, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += type.size();
+      if ((start > 0 && is_ident_char(code[start - 1])) ||
+          (pos < code.size() && is_ident_char(code[pos]))) {
+        continue;
+      }
+      std::size_t p = skip_spaces(code, pos);
+      std::size_t q = p;
+      while (q < code.size() && is_ident_char(code[q])) ++q;
+      if (q > p && is_ident_start(code[p])) names.insert(code.substr(p, q - p));
+    }
+  }
+  // auto x = <fp literal>
+  std::size_t pos = 0;
+  while ((pos = code.find("auto", pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    pos += 4;
+    if ((start > 0 && is_ident_char(code[start - 1])) ||
+        (pos < code.size() && is_ident_char(code[pos]))) {
+      continue;
+    }
+    std::size_t p = skip_spaces(code, pos);
+    std::size_t q = p;
+    while (q < code.size() && is_ident_char(code[q])) ++q;
+    if (q == p || !is_ident_start(code[p])) continue;
+    const std::string name = code.substr(p, q - p);
+    std::size_t eq = skip_spaces(code, q);
+    if (eq >= code.size() || code[eq] != '=') continue;
+    std::size_t v = skip_spaces(code, eq + 1);
+    std::size_t ve = v;
+    while (ve < code.size() &&
+           (is_ident_char(code[ve]) || code[ve] == '.' || code[ve] == '-')) {
+      ++ve;
+    }
+    const std::string init = code.substr(v, ve - v);
+    if (init.find('.') != std::string::npos &&
+        init.find_first_of("0123456789") != std::string::npos) {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+/// True when `lit` looks like a floating-point literal (digits plus a
+/// decimal point or exponent).
+bool is_fp_literal(const std::string& lit) {
+  if (lit.find_first_of("0123456789") == std::string::npos) return false;
+  return lit.find('.') != std::string::npos ||
+         lit.find('e') != std::string::npos ||
+         lit.find('E') != std::string::npos || lit.back() == 'f';
+}
+
+void scan_float_order(const FileText& f,
+                      const std::vector<std::string>& vars,
+                      const std::vector<UnorderedLoop>& loops,
+                      std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  const std::set<std::string> fp_vars = float_decls(code);
+
+  auto flag = [&](std::size_t offset, const std::string& what) {
+    out.push_back(
+        {f.path, f.line_of(offset), "float-order",
+         "floating-point reduction over unordered container " + what +
+             ": fp addition is not associative, so the bits of the sum "
+             "depend on hash-table iteration order even when the addends "
+             "are fixed — this breaks byte-identical exports everywhere, "
+             "not just in decision paths (accumulate over a sorted view, "
+             "or keep the accumulator integral)"});
+  };
+
+  // Range-for over an unordered container whose body accumulates into a
+  // floating-point variable (`x += ...`, `x -= ...`, `x = x + ...`).
+  for (const UnorderedLoop& loop : loops) {
+    const std::string body =
+        code.substr(loop.body_begin, loop.body_end - loop.body_begin);
+    bool fp_accum = false;
+    for (const std::string& v : fp_vars) {
+      std::size_t vp = 0;
+      while (!fp_accum && (vp = body.find(v, vp)) != std::string::npos) {
+        const std::size_t end = vp + v.size();
+        if ((vp > 0 && is_ident_char(body[vp - 1])) ||
+            (end < body.size() && is_ident_char(body[end]))) {
+          vp = end;
+          continue;
+        }
+        std::size_t p = skip_spaces(body, end);
+        if (p + 1 < body.size() && (body[p] == '+' || body[p] == '-') &&
+            body[p + 1] == '=') {
+          fp_accum = true;
+        } else if (p < body.size() && body[p] == '=' &&
+                   (p + 1 >= body.size() || body[p + 1] != '=')) {
+          // x = x + ... (the variable must appear again on the rhs)
+          const std::size_t stmt_end = body.find(';', p);
+          const std::string rhs = body.substr(
+              p + 1, (stmt_end == std::string::npos ? body.size() : stmt_end) -
+                         p - 1);
+          if (contains_word(rhs, v)) fp_accum = true;
+        }
+        vp = end;
+      }
+      if (fp_accum) break;
+    }
+    if (fp_accum) flag(loop.offset, loop.what);
+  }
+
+  // std::accumulate / std::reduce over an unordered container with a
+  // floating-point init value.
+  for (std::string_view fn : {"accumulate", "reduce"}) {
+    std::size_t pos = 0;
+    const std::string needle = "std::" + std::string(fn);
+    while ((pos = code.find(needle, pos)) != std::string::npos) {
+      const std::size_t call = pos;
+      pos += needle.size();
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      std::size_t p = skip_spaces(code, pos);
+      if (p >= code.size() || code[p] != '(') continue;
+      const std::size_t close = skip_balanced(code, p, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(p + 1, close - p - 2);
+      std::string over;
+      for (const std::string& v : vars) {
+        if (contains_word(args, v)) {
+          over = "'" + v + "'";
+          break;
+        }
+      }
+      if (over.empty() && args.find("unordered_") != std::string::npos) {
+        over = "expression";
+      }
+      if (over.empty()) continue;
+      // Split top-level args; the init value is the third one.
+      std::vector<std::string> parts;
+      int depth = 0;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= args.size(); ++i) {
+        if (i == args.size() || (args[i] == ',' && depth == 0)) {
+          parts.push_back(args.substr(start, i - start));
+          start = i + 1;
+        } else if (args[i] == '(' || args[i] == '[' || args[i] == '{' ||
+                   args[i] == '<') {
+          ++depth;
+        } else if (args[i] == ')' || args[i] == ']' || args[i] == '}' ||
+                   args[i] == '>') {
+          --depth;
+        }
+      }
+      if (parts.size() < 3) continue;
+      std::string init = parts[2];
+      init.erase(std::remove_if(init.begin(), init.end(),
+                                [](char c) { return c == ' ' || c == '\n' ||
+                                                    c == '\t' || c == '\r'; }),
+                 init.end());
+      bool fp = is_fp_literal(init);
+      if (!fp) {
+        for (const std::string& v : fp_vars) {
+          if (contains_word(init, v)) {
+            fp = true;
+            break;
+          }
+        }
+      }
+      if (fp) flag(call, over);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pointer-key
+// ---------------------------------------------------------------------------
+void scan_pointer_key(const FileText& f, std::vector<Finding>& out) {
+  const std::string& code = f.code;
+  static const std::string_view kKinds[] = {"map", "set", "multimap",
+                                            "multiset"};
+  std::size_t pos = 0;
+  while ((pos = code.find("std::", pos)) != std::string::npos) {
+    std::size_t p = pos + 5;
+    std::string_view matched;
+    for (std::string_view kind : kKinds) {
+      if (code.compare(p, kind.size(), kind) == 0 &&
+          p + kind.size() < code.size() &&
+          !is_ident_char(code[p + kind.size()])) {
+        matched = kind;
+        break;
+      }
+    }
+    if (matched.empty()) {
+      pos = p;
+      continue;
+    }
+    std::size_t q = skip_spaces(code, p + matched.size());
+    if (q >= code.size() || code[q] != '<') {
+      pos = p;
+      continue;
+    }
+    // First template argument, at angle depth 1.
+    std::string key_type;
+    int depth = 0;
+    std::size_t i = q;
+    for (; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '<') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == '>') {
+        if (--depth == 0) break;
+      } else if (c == ',' && depth == 1) {
+        break;
+      } else if (c == ';') {
+        break;
+      }
+      if (depth >= 1) key_type += c;
+    }
+    if (key_type.find('*') != std::string::npos) {
+      // Trim for the message.
+      std::string trimmed;
+      for (char c : key_type) {
+        if (!trimmed.empty() || (c != ' ' && c != '\n' && c != '\t')) {
+          trimmed += c == '\n' ? ' ' : c;
+        }
+      }
+      while (!trimmed.empty() && trimmed.back() == ' ') trimmed.pop_back();
+      out.push_back(
+          {f.path, f.line_of(pos), "pointer-key",
+           "std::" + std::string(matched) + " keyed by raw pointer '" +
+               trimmed +
+               "': pointer values differ between runs, so iteration order "
+               "(and anything derived from it) is not reproducible — key by "
+               "a stable id instead"});
+    }
+    pos = i == std::string::npos ? code.size() : i + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: nontotal-sort and schedule-tiebreak (both inspect sort/heap
+// comparator lambdas)
+// ---------------------------------------------------------------------------
+struct SortCall {
+  std::size_t offset = 0;      // of the std::<name> token
+  std::string name;            // sort, stable_sort, push_heap, ...
+  std::string lambda_body;     // empty when no inline lambda argument
+};
+
+std::vector<SortCall> find_sort_calls(const std::string& code) {
+  static const std::string_view kNames[] = {
+      "sort",      "stable_sort", "partial_sort", "nth_element",
+      "make_heap", "push_heap",   "pop_heap",     "sort_heap"};
+  std::vector<SortCall> calls;
+  std::size_t pos = 0;
+  while ((pos = code.find("std::", pos)) != std::string::npos) {
+    const std::size_t p = pos + 5;
+    std::string_view matched;
+    for (std::string_view name : kNames) {
+      if (code.compare(p, name.size(), name) == 0 &&
+          p + name.size() < code.size() &&
+          !is_ident_char(code[p + name.size()])) {
+        // Longest match wins (sort vs sort_heap handled by the char check,
+        // stable_sort never matches "sort" because of the std:: anchor).
+        if (name.size() > matched.size()) matched = name;
+      }
+    }
+    if (matched.empty()) {
+      pos = p;
+      continue;
+    }
+    std::size_t q = skip_spaces(code, p + matched.size());
+    if (q >= code.size() || code[q] != '(') {
+      pos = p;
+      continue;
+    }
+    const std::size_t close = skip_balanced(code, q, '(', ')');
+    if (close == std::string::npos) {
+      pos = p;
+      continue;
+    }
+    SortCall call;
+    call.offset = pos;
+    call.name = std::string(matched);
+    // Inline lambda argument: a '[' directly after '(' or ','.
+    for (std::size_t i = q + 1; i < close - 1; ++i) {
+      if (code[i] != '[') continue;
+      std::size_t b = i;
+      while (b > q + 1 &&
+             (code[b - 1] == ' ' || code[b - 1] == '\t' || code[b - 1] == '\n')) {
+        --b;
+      }
+      if (code[b - 1] != '(' && code[b - 1] != ',') continue;
+      const std::size_t cap_end = skip_balanced(code, i, '[', ']');
+      if (cap_end == std::string::npos || cap_end >= close) break;
+      std::size_t body_start = skip_spaces(code, cap_end);
+      if (body_start < close && code[body_start] == '(') {
+        body_start = skip_balanced(code, body_start, '(', ')');
+        if (body_start == std::string::npos) break;
+        body_start = skip_spaces(code, body_start);
+      }
+      // Skip specifiers / trailing return type up to the body brace.
+      while (body_start < close && code[body_start] != '{') ++body_start;
+      if (body_start >= close) break;
+      const std::size_t body_end = skip_balanced(code, body_start, '{', '}');
+      if (body_end == std::string::npos || body_end > close) break;
+      call.lambda_body = code.substr(body_start + 1, body_end - body_start - 2);
+      break;
+    }
+    calls.push_back(std::move(call));
+    pos = close;
+  }
+  return calls;
+}
+
+void scan_sort_rules(const FileText& f, std::vector<Finding>& out) {
+  static const char* kTimeWords[] = {"time",     "timestamp",  "arrival",
+                                     "deadline", "start_time", "finish_time",
+                                     "when",     "arrival_time"};
+  static const char* kTieWords[] = {"seq",   "sequence", "id",  "idx",
+                                    "index", "tie",      "second"};
+  for (const SortCall& call : find_sort_calls(f.code)) {
+    if (call.lambda_body.empty()) continue;
+    const std::string& body = call.lambda_body;
+
+    // nontotal-sort: <= / >= comparators violate strict weak ordering.
+    for (std::string_view op : {"<=", ">="}) {
+      const std::size_t at = body.find(op);
+      if (at != std::string::npos &&
+          body.compare(at, 3, "<=>") != 0) {
+        out.push_back(
+            {f.path, f.line_of(call.offset), "nontotal-sort",
+             "comparator passed to std::" + call.name + " uses '" +
+                 std::string(op) +
+                 "': equal elements compare true both ways, which is not a "
+                 "strict weak ordering (undefined behaviour in libstdc++ "
+                 "sort/heap algorithms) — compare with < or > only"});
+        break;
+      }
+    }
+
+    // schedule-tiebreak: plain sort/heap ordering by a timestamp alone.
+    // std::stable_sort is exempt — stability IS the deterministic
+    // tie-break there.
+    if (call.name == "stable_sort" || !f.decision_path) continue;
+    const std::size_t semis =
+        static_cast<std::size_t>(std::count(body.begin(), body.end(), ';'));
+    if (semis > 1 || body.find("return") == std::string::npos) continue;
+    bool time_member = false;
+    for (const char* w : kTimeWords) {
+      std::size_t wp = 0;
+      const std::string word = w;
+      while ((wp = body.find(word, wp)) != std::string::npos) {
+        const std::size_t end = wp + word.size();
+        const bool right_ok = end >= body.size() || !is_ident_char(body[end]);
+        std::size_t p = wp;
+        while (p > 0 && (body[p - 1] == ' ' || body[p - 1] == '\t')) --p;
+        const bool member_access =
+            (p > 0 && body[p - 1] == '.') ||
+            (p > 1 && body[p - 1] == '>' && body[p - 2] == '-');
+        if (right_ok && member_access) {
+          time_member = true;
+          break;
+        }
+        wp = end;
+      }
+      if (time_member) break;
+    }
+    if (!time_member) continue;
+    bool has_tiebreak = false;
+    for (const char* w : kTieWords) {
+      if (contains_word(body, w)) {
+        has_tiebreak = true;
+        break;
+      }
+    }
+    if (has_tiebreak) continue;
+    out.push_back(
+        {f.path, f.line_of(call.offset), "schedule-tiebreak",
+         "std::" + call.name +
+             " comparator orders by a timestamp with no secondary key: "
+             "elements with equal times keep container order, which is not "
+             "guaranteed stable — add a sequence/id tie-break (like "
+             "sim::Simulator's (time, seq) heap order) or use "
+             "std::stable_sort"});
+  }
+}
+
+}  // namespace
+
+void scan_pattern_rules(const FileText& f, std::vector<Finding>& out) {
+  const std::vector<std::string> vars = unordered_decls(f.code);
+  const std::vector<UnorderedLoop> loops = find_unordered_loops(f.code, vars);
+  scan_unordered_iter(f, vars, loops, out);
+  scan_wall_clock(f, out);
+  scan_rng_discipline(f, out);
+  scan_float_order(f, vars, loops, out);
+  scan_pointer_key(f, out);
+  scan_sort_rules(f, out);
+}
+
+}  // namespace phisched::lint

@@ -1,28 +1,41 @@
-// phisched_lint — determinism lint for the simulator tree.
+// phisched_lint — multi-pass whole-program analyzer for the simulator tree.
 //
 // Every equivalence suite in this repo (SwitchOffEquivalence, harness
 // step-vs-oneshot, telemetry identity, the golden bench gates) relies on the
 // discrete-event core being bit-identical across runs, seeds, and snapshot
-// interleavings. That property in turn depends on coding rules nothing used
-// to enforce: no iteration order leaking out of unordered containers into
-// decisions, no wall-clock or global-PRNG calls inside the simulation, no
-// pointer-keyed ordered containers (pointer order varies run to run), and
-// total comparators with explicit same-timestamp tie-breaks wherever events
-// are ordered. This tool is a lightweight scanner (no libclang) that makes
-// those rules machine-checked.
+// interleavings, and on the twelve src/ layers keeping their documented
+// dependency shape as the tree grows. This tool is a lightweight analyzer
+// (no libclang) that makes both machine-checked. Three pass families:
 //
-// Rules (see docs/static-analysis.md for the rationale):
-//   unordered-iter     iteration over std::unordered_{map,set,...} in a
-//                      decision path (sim/ phi/ cosmic/ condor/ cluster/
-//                      core/, or any file named sharded*)
-//   wall-clock         wall-clock / global-PRNG calls (rand, time, clock,
-//                      random_device, system_clock, ...) outside common/rng
-//   pointer-key        std::map / std::set keyed by a raw pointer
-//   nontotal-sort      sort/heap comparator using <= or >= (not a strict
-//                      weak ordering — undefined behaviour in libstdc++)
-//   schedule-tiebreak  std::sort/heap comparator ordering by a timestamp
-//                      with no secondary key (equal times get container
-//                      order; use std::stable_sort or add a sequence key)
+//   pattern rules (tools/lint/rules.cpp) — per-file determinism scans:
+//     unordered-iter     iteration over std::unordered_{map,set,...} in a
+//                        decision path (sim/ phi/ cosmic/ condor/ cluster/
+//                        core/, or any file named sharded*/strategy*/batch*)
+//     wall-clock         wall-clock reads (time, clock, system_clock, ...)
+//                        outside bench/ and tools/ harnesses
+//     rng-discipline     randomness outside the seeded-engine plumbing in
+//                        common/rng (rand, random_device, mt19937, shuffle)
+//     float-order        floating-point reduction in hash-table iteration
+//                        order (fp addition is not associative)
+//     pointer-key        std::map / std::set keyed by a raw pointer
+//     nontotal-sort      sort/heap comparator using <= or >= (not a strict
+//                        weak ordering — undefined behaviour in libstdc++)
+//     schedule-tiebreak  std::sort/heap comparator ordering by a timestamp
+//                        with no secondary key
+//
+//   include graph (tools/lint/include_graph.cpp) — whole-program:
+//     layering           an include edge that violates the architecture
+//                        layer DAG (--list-layers prints the table, which
+//                        docs/architecture.md mirrors literally)
+//     include-cycle      a cycle of project files in the include graph
+//     unused-include     a quoted include contributing no name the file uses
+//
+//   telemetry schema (tools/lint/schema.cpp) — whole-program:
+//     schema-undocumented  a metric/event registration whose name pattern
+//                          matches nothing in docs/telemetry.md
+//     schema-orphan        a documented name no code emits (or a documented
+//                          bench name absent from the goldens)
+//     schema-golden        a golden bench metric name absent from the docs
 //
 // Suppression: `// phisched-lint: allow(<rule>[, <rule>...])` on the same
 // line or the line immediately above. `allow(all)` suppresses every rule.
@@ -34,697 +47,40 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <filesystem>
-#include <fstream>
+#include <cstdint>
 #include <iostream>
-#include <set>
-#include <sstream>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
+#include "lint/lint.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-  bool suppressed = false;
-};
-
-struct RuleInfo {
-  const char* id;
-  const char* summary;
-};
+using namespace phisched::lint;
 
 constexpr RuleInfo kRules[] = {
     {"unordered-iter",
      "iteration over an unordered container in a decision path"},
-    {"wall-clock", "wall-clock or global-PRNG call in simulator code"},
+    {"wall-clock", "wall-clock call in simulator code"},
+    {"rng-discipline", "randomness outside the seeded-engine plumbing"},
+    {"float-order",
+     "floating-point reduction in hash-table iteration order"},
     {"pointer-key", "ordered container keyed by a raw pointer"},
     {"nontotal-sort", "sort/heap comparator that is not a strict weak order"},
     {"schedule-tiebreak",
      "timestamp comparator without a deterministic tie-break"},
+    {"layering", "include edge that violates the architecture layer DAG"},
+    {"include-cycle", "cycle of project files in the include graph"},
+    {"unused-include", "quoted include contributing no name the file uses"},
+    {"schema-undocumented",
+     "metric/event name pattern missing from docs/telemetry.md"},
+    {"schema-orphan", "documented metric/event/bench name nothing emits"},
+    {"schema-golden", "golden bench metric name missing from the docs"},
 };
 
-bool is_ident_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-bool is_ident_start(char c) { return is_ident_char(c) && !(c >= '0' && c <= '9'); }
-
-/// Blanks comments, string literals, and char literals with spaces while
-/// preserving every line break, so offsets keep mapping to line numbers
-/// and tokens never match inside quoted or commented text.
-std::string sanitize(const std::string& text) {
-  std::string out = text;
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          // Raw string? The R must directly precede the quote and not be
-          // part of a longer identifier (e.g. `STR"..."` suffix macros).
-          if (i > 0 && out[i - 1] == 'R' &&
-              (i < 2 || !is_ident_char(out[i - 2]))) {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < out.size() && out[j] != '(') raw_delim += out[j++];
-            st = St::kRaw;
-          } else {
-            st = St::kString;
-          }
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not char literals.
-          if (!(i > 0 && is_ident_char(out[i - 1]))) st = St::kChar;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n') st = St::kCode;
-        else out[i] = ' ';
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kRaw: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (out.compare(i, close.size(), close) == 0) {
-          for (std::size_t j = 0; j < close.size(); ++j) {
-            if (out[i + j] != '\n') out[i + j] = ' ';
-          }
-          i += close.size() - 1;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-struct FileText {
-  std::string path;          // as reported
-  std::string raw;           // original bytes
-  std::string code;          // sanitized
-  std::vector<std::size_t> line_starts;
-  bool decision_path = false;
-  bool rng_file = false;
-
-  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
-    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
-    return static_cast<std::size_t>(it - line_starts.begin());
-  }
-  /// Raw text of a 1-based line (empty when out of range).
-  [[nodiscard]] std::string_view raw_line(std::size_t line) const {
-    if (line == 0 || line > line_starts.size()) return {};
-    const std::size_t begin = line_starts[line - 1];
-    std::size_t end = line < line_starts.size() ? line_starts[line] : raw.size();
-    while (end > begin && (raw[end - 1] == '\n' || raw[end - 1] == '\r')) --end;
-    return std::string_view(raw).substr(begin, end - begin);
-  }
-};
-
-/// Directories whose contents count as "decision paths": code here feeds
-/// scheduling and event-ordering decisions, so iteration-order hazards are
-/// correctness bugs, not style. core/ joined the list with the
-/// interference-aware add-on: its device views and bandwidth trims pick
-/// placements, so they carry the same bit-identical promise. Files named
-/// sharded*, strategy*, or batch* qualify wherever they live — the parallel engine's merge
-/// (sim/sharded*), the matchmaking strategies (condor/strategy*), and the
-/// batch packer (knapsack/batch*) all promise bit-identical decisions from
-/// a given snapshot, so moving such a file out of its directory must not
-/// drop it from the lint's scope.
-bool path_is_decision(const fs::path& p) {
-  const std::string stem = p.filename().string();
-  if (stem.rfind("sharded", 0) == 0 || stem.rfind("strategy", 0) == 0 ||
-      stem.rfind("batch", 0) == 0) {
-    return true;
-  }
-  for (const auto& part : p) {
-    const std::string s = part.string();
-    if (s == "sim" || s == "phi" || s == "cosmic" || s == "condor" ||
-        s == "cluster" || s == "core") {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool path_is_rng(const fs::path& p) {
-  const std::string s = p.generic_string();
-  return s.find("common/rng") != std::string::npos;
-}
-
-/// Skips a balanced <...> starting at `pos` (which must point at '<').
-/// Returns the offset just past the matching '>', or npos on imbalance.
-std::size_t skip_angles(const std::string& s, std::size_t pos) {
-  int depth = 0;
-  for (std::size_t i = pos; i < s.size(); ++i) {
-    const char c = s[i];
-    if (c == '<') ++depth;
-    else if (c == '>') {
-      if (--depth == 0) return i + 1;
-    } else if (c == ';') {
-      return std::string::npos;  // not a template argument list after all
-    }
-  }
-  return std::string::npos;
-}
-
-/// Skips a balanced bracket pair ((), [], {}) starting at `pos` (which must
-/// point at the opener). Returns the offset just past the closer.
-std::size_t skip_balanced(const std::string& s, std::size_t pos, char open,
-                          char close) {
-  int depth = 0;
-  for (std::size_t i = pos; i < s.size(); ++i) {
-    if (s[i] == open) ++depth;
-    else if (s[i] == close) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t pos) {
-  while (pos < s.size() &&
-         (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' || s[pos] == '\r')) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// The identifier ending just before `pos` (skipping trailing spaces), or
-/// empty. Used to inspect `::` qualifiers and member-access receivers.
-std::string ident_before(const std::string& s, std::size_t pos) {
-  while (pos > 0 && (s[pos - 1] == ' ' || s[pos - 1] == '\t')) --pos;
-  std::size_t end = pos;
-  while (pos > 0 && is_ident_char(s[pos - 1])) --pos;
-  return s.substr(pos, end - pos);
-}
-
-/// All identifiers declared in this file as unordered containers
-/// (members, locals, parameters): `std::unordered_map<K, V> name...`.
-std::vector<std::string> unordered_decls(const std::string& code) {
-  std::vector<std::string> names;
-  static const std::string_view kKinds[] = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  for (std::string_view kind : kKinds) {
-    std::size_t pos = 0;
-    while ((pos = code.find(kind, pos)) != std::string::npos) {
-      const std::size_t start = pos;
-      pos += kind.size();
-      if ((start > 0 && is_ident_char(code[start - 1])) ||
-          (pos < code.size() && is_ident_char(code[pos]))) {
-        continue;  // substring of a longer identifier
-      }
-      std::size_t p = skip_spaces(code, pos);
-      if (p >= code.size() || code[p] != '<') continue;
-      p = skip_angles(code, p);
-      if (p == std::string::npos) continue;
-      p = skip_spaces(code, p);
-      if (code.compare(p, 2, "::") == 0) continue;  // ::iterator etc.
-      // Reference/pointer declarators and cv come between type and name.
-      while (p < code.size() && (code[p] == '&' || code[p] == '*')) {
-        p = skip_spaces(code, p + 1);
-      }
-      if (code.compare(p, 5, "const") == 0 && !is_ident_char(code[p + 5])) {
-        p = skip_spaces(code, p + 5);
-      }
-      std::size_t q = p;
-      while (q < code.size() && is_ident_char(code[q])) ++q;
-      if (q > p && is_ident_start(code[p])) names.push_back(code.substr(p, q - p));
-      pos = q;
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-bool contains_word(const std::string& s, const std::string& word) {
-  std::size_t pos = 0;
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unordered-iter
-// ---------------------------------------------------------------------------
-void scan_unordered_iter(const FileText& f, std::vector<Finding>& out) {
-  if (!f.decision_path) return;
-  const std::string& code = f.code;
-  const std::vector<std::string> vars = unordered_decls(code);
-
-  auto flag = [&](std::size_t offset, const std::string& what) {
-    out.push_back({f.path, f.line_of(offset), "unordered-iter",
-                   "iteration over unordered container " + what +
-                       " in a decision path: iteration order is "
-                       "implementation-defined and must not feed simulator "
-                       "decisions (use std::map/std::vector, or copy and "
-                       "sort by a stable key first)"});
-  };
-
-  // Range-for whose range expression mentions an unordered type or any
-  // identifier declared as an unordered container in this file.
-  std::size_t pos = 0;
-  while ((pos = code.find("for", pos)) != std::string::npos) {
-    const std::size_t kw = pos;
-    pos += 3;
-    if ((kw > 0 && is_ident_char(code[kw - 1])) ||
-        (pos < code.size() && is_ident_char(code[pos]))) {
-      continue;
-    }
-    std::size_t p = skip_spaces(code, pos);
-    if (p >= code.size() || code[p] != '(') continue;
-    const std::size_t close = skip_balanced(code, p, '(', ')');
-    if (close == std::string::npos) continue;
-    const std::string inside = code.substr(p + 1, close - p - 2);
-    // Top-level ':' (not '::') splits declaration from range expression.
-    std::size_t colon = std::string::npos;
-    int depth = 0;
-    for (std::size_t i = 0; i < inside.size(); ++i) {
-      const char c = inside[i];
-      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
-      else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
-      else if (c == ':' && depth == 0) {
-        if ((i > 0 && inside[i - 1] == ':') ||
-            (i + 1 < inside.size() && inside[i + 1] == ':')) {
-          continue;
-        }
-        colon = i;
-        break;
-      }
-    }
-    if (colon == std::string::npos) continue;
-    const std::string range = inside.substr(colon + 1);
-    if (range.find("unordered_") != std::string::npos) {
-      flag(kw, "expression");
-      continue;
-    }
-    for (const std::string& v : vars) {
-      if (contains_word(range, v)) {
-        flag(kw, "'" + v + "'");
-        break;
-      }
-    }
-  }
-
-  // Iterator loops: <unordered var>.begin() / .cbegin() / .rbegin().
-  for (const std::string& v : vars) {
-    std::size_t vp = 0;
-    while ((vp = code.find(v, vp)) != std::string::npos) {
-      const std::size_t end = vp + v.size();
-      if ((vp > 0 && is_ident_char(code[vp - 1])) ||
-          (end < code.size() && is_ident_char(code[end]))) {
-        vp = end;
-        continue;
-      }
-      std::size_t p = skip_spaces(code, end);
-      if (p < code.size() && code[p] == '.') {
-        p = skip_spaces(code, p + 1);
-        for (std::string_view b : {"begin", "cbegin", "rbegin"}) {
-          if (code.compare(p, b.size(), b) == 0 &&
-              !is_ident_char(code[p + b.size()])) {
-            flag(vp, "'" + v + "'");
-            break;
-          }
-        }
-      }
-      vp = end;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: wall-clock
-// ---------------------------------------------------------------------------
-void scan_wall_clock(const FileText& f, std::vector<Finding>& out) {
-  if (f.rng_file) return;  // common/rng owns the one random_device use
-  const std::string& code = f.code;
-  static const std::set<std::string, std::less<>> kCallOnly = {
-      "rand",  "srand",  "time",    "clock",
-      "drand48", "lrand48", "mrand48", "gettimeofday", "clock_gettime"};
-  static const std::set<std::string, std::less<>> kAnywhere = {
-      "random_device", "system_clock", "steady_clock",
-      "high_resolution_clock", "localtime", "gmtime"};
-
-  std::size_t i = 0;
-  while (i < code.size()) {
-    if (!is_ident_start(code[i])) {
-      ++i;
-      continue;
-    }
-    if (i > 0 && is_ident_char(code[i - 1])) {  // mid-identifier
-      while (i < code.size() && is_ident_char(code[i])) ++i;
-      continue;
-    }
-    std::size_t end = i;
-    while (end < code.size() && is_ident_char(code[end])) ++end;
-    const std::string tok = code.substr(i, end - i);
-    const bool call_only = kCallOnly.count(tok) > 0;
-    const bool anywhere = kAnywhere.count(tok) > 0;
-    if (!call_only && !anywhere) {
-      i = end;
-      continue;
-    }
-    // Member access (obj.time(), ptr->clock()) is somebody else's API, and
-    // qualified names are only suspect under std:: / chrono:: / global ::.
-    bool member = false;
-    std::string qualifier;
-    {
-      std::size_t p = i;
-      while (p > 0 && (code[p - 1] == ' ' || code[p - 1] == '\t')) --p;
-      if (p > 0 && code[p - 1] == '.') member = true;
-      if (p > 1 && code[p - 1] == '>' && code[p - 2] == '-') member = true;
-      if (p > 1 && code[p - 1] == ':' && code[p - 2] == ':') {
-        qualifier = ident_before(code, p - 2);
-        if (!(qualifier.empty() || qualifier == "std" ||
-              qualifier == "chrono")) {
-          member = true;  // SomeClass::time — a member, not libc
-        }
-      }
-    }
-    if (member) {
-      i = end;
-      continue;
-    }
-    if (call_only) {
-      const std::size_t p = skip_spaces(code, end);
-      if (p >= code.size() || code[p] != '(') {
-        i = end;
-        continue;
-      }
-    }
-    out.push_back({f.path, f.line_of(i), "wall-clock",
-                   "call to '" + tok +
-                       "': wall-clock time and global PRNGs break run-to-run "
-                       "reproducibility — use Simulator::now() for time and "
-                       "common/rng (seeded SplitMix/Xoshiro) for randomness"});
-    i = end;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: pointer-key
-// ---------------------------------------------------------------------------
-void scan_pointer_key(const FileText& f, std::vector<Finding>& out) {
-  const std::string& code = f.code;
-  static const std::string_view kKinds[] = {"map", "set", "multimap",
-                                            "multiset"};
-  std::size_t pos = 0;
-  while ((pos = code.find("std::", pos)) != std::string::npos) {
-    std::size_t p = pos + 5;
-    std::string_view matched;
-    for (std::string_view kind : kKinds) {
-      if (code.compare(p, kind.size(), kind) == 0 &&
-          p + kind.size() < code.size() &&
-          !is_ident_char(code[p + kind.size()])) {
-        matched = kind;
-        break;
-      }
-    }
-    if (matched.empty()) {
-      pos = p;
-      continue;
-    }
-    std::size_t q = skip_spaces(code, p + matched.size());
-    if (q >= code.size() || code[q] != '<') {
-      pos = p;
-      continue;
-    }
-    // First template argument, at angle depth 1.
-    std::string key_type;
-    int depth = 0;
-    std::size_t i = q;
-    for (; i < code.size(); ++i) {
-      const char c = code[i];
-      if (c == '<') {
-        ++depth;
-        if (depth == 1) continue;
-      } else if (c == '>') {
-        if (--depth == 0) break;
-      } else if (c == ',' && depth == 1) {
-        break;
-      } else if (c == ';') {
-        break;
-      }
-      if (depth >= 1) key_type += c;
-    }
-    if (key_type.find('*') != std::string::npos) {
-      // Trim for the message.
-      std::string trimmed;
-      for (char c : key_type) {
-        if (!trimmed.empty() || (c != ' ' && c != '\n' && c != '\t')) {
-          trimmed += c == '\n' ? ' ' : c;
-        }
-      }
-      while (!trimmed.empty() && trimmed.back() == ' ') trimmed.pop_back();
-      out.push_back(
-          {f.path, f.line_of(pos), "pointer-key",
-           "std::" + std::string(matched) + " keyed by raw pointer '" +
-               trimmed +
-               "': pointer values differ between runs, so iteration order "
-               "(and anything derived from it) is not reproducible — key by "
-               "a stable id instead"});
-    }
-    pos = i == std::string::npos ? code.size() : i + 1;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rules: nontotal-sort and schedule-tiebreak (both inspect sort/heap
-// comparator lambdas)
-// ---------------------------------------------------------------------------
-struct SortCall {
-  std::size_t offset = 0;      // of the std::<name> token
-  std::string name;            // sort, stable_sort, push_heap, ...
-  std::string lambda_body;     // empty when no inline lambda argument
-};
-
-std::vector<SortCall> find_sort_calls(const std::string& code) {
-  static const std::string_view kNames[] = {
-      "sort",      "stable_sort", "partial_sort", "nth_element",
-      "make_heap", "push_heap",   "pop_heap",     "sort_heap"};
-  std::vector<SortCall> calls;
-  std::size_t pos = 0;
-  while ((pos = code.find("std::", pos)) != std::string::npos) {
-    const std::size_t p = pos + 5;
-    std::string_view matched;
-    for (std::string_view name : kNames) {
-      if (code.compare(p, name.size(), name) == 0 &&
-          p + name.size() < code.size() &&
-          !is_ident_char(code[p + name.size()])) {
-        // Longest match wins (sort vs sort_heap handled by the char check,
-        // stable_sort never matches "sort" because of the std:: anchor).
-        if (name.size() > matched.size()) matched = name;
-      }
-    }
-    if (matched.empty()) {
-      pos = p;
-      continue;
-    }
-    std::size_t q = skip_spaces(code, p + matched.size());
-    if (q >= code.size() || code[q] != '(') {
-      pos = p;
-      continue;
-    }
-    const std::size_t close = skip_balanced(code, q, '(', ')');
-    if (close == std::string::npos) {
-      pos = p;
-      continue;
-    }
-    SortCall call;
-    call.offset = pos;
-    call.name = std::string(matched);
-    // Inline lambda argument: a '[' directly after '(' or ','.
-    for (std::size_t i = q + 1; i < close - 1; ++i) {
-      if (code[i] != '[') continue;
-      std::size_t b = i;
-      while (b > q + 1 &&
-             (code[b - 1] == ' ' || code[b - 1] == '\t' || code[b - 1] == '\n')) {
-        --b;
-      }
-      if (code[b - 1] != '(' && code[b - 1] != ',') continue;
-      const std::size_t cap_end = skip_balanced(code, i, '[', ']');
-      if (cap_end == std::string::npos || cap_end >= close) break;
-      std::size_t body_start = skip_spaces(code, cap_end);
-      if (body_start < close && code[body_start] == '(') {
-        body_start = skip_balanced(code, body_start, '(', ')');
-        if (body_start == std::string::npos) break;
-        body_start = skip_spaces(code, body_start);
-      }
-      // Skip specifiers / trailing return type up to the body brace.
-      while (body_start < close && code[body_start] != '{') ++body_start;
-      if (body_start >= close) break;
-      const std::size_t body_end = skip_balanced(code, body_start, '{', '}');
-      if (body_end == std::string::npos || body_end > close) break;
-      call.lambda_body = code.substr(body_start + 1, body_end - body_start - 2);
-      break;
-    }
-    calls.push_back(std::move(call));
-    pos = close;
-  }
-  return calls;
-}
-
-void scan_sort_rules(const FileText& f, std::vector<Finding>& out) {
-  static const char* kTimeWords[] = {"time",     "timestamp",  "arrival",
-                                     "deadline", "start_time", "finish_time",
-                                     "when",     "arrival_time"};
-  static const char* kTieWords[] = {"seq",   "sequence", "id",  "idx",
-                                    "index", "tie",      "second"};
-  for (const SortCall& call : find_sort_calls(f.code)) {
-    if (call.lambda_body.empty()) continue;
-    const std::string& body = call.lambda_body;
-
-    // nontotal-sort: <= / >= comparators violate strict weak ordering.
-    for (std::string_view op : {"<=", ">="}) {
-      const std::size_t at = body.find(op);
-      if (at != std::string::npos &&
-          body.compare(at, 3, "<=>") != 0) {
-        out.push_back(
-            {f.path, f.line_of(call.offset), "nontotal-sort",
-             "comparator passed to std::" + call.name + " uses '" +
-                 std::string(op) +
-                 "': equal elements compare true both ways, which is not a "
-                 "strict weak ordering (undefined behaviour in libstdc++ "
-                 "sort/heap algorithms) — compare with < or > only"});
-        break;
-      }
-    }
-
-    // schedule-tiebreak: plain sort/heap ordering by a timestamp alone.
-    // std::stable_sort is exempt — stability IS the deterministic
-    // tie-break there.
-    if (call.name == "stable_sort" || !f.decision_path) continue;
-    const std::size_t semis =
-        static_cast<std::size_t>(std::count(body.begin(), body.end(), ';'));
-    if (semis > 1 || body.find("return") == std::string::npos) continue;
-    bool time_member = false;
-    for (const char* w : kTimeWords) {
-      std::size_t wp = 0;
-      const std::string word = w;
-      while ((wp = body.find(word, wp)) != std::string::npos) {
-        const std::size_t end = wp + word.size();
-        const bool right_ok = end >= body.size() || !is_ident_char(body[end]);
-        std::size_t p = wp;
-        while (p > 0 && (body[p - 1] == ' ' || body[p - 1] == '\t')) --p;
-        const bool member_access =
-            (p > 0 && body[p - 1] == '.') ||
-            (p > 1 && body[p - 1] == '>' && body[p - 2] == '-');
-        if (right_ok && member_access) {
-          time_member = true;
-          break;
-        }
-        wp = end;
-      }
-      if (time_member) break;
-    }
-    if (!time_member) continue;
-    bool has_tiebreak = false;
-    for (const char* w : kTieWords) {
-      if (contains_word(body, w)) {
-        has_tiebreak = true;
-        break;
-      }
-    }
-    if (has_tiebreak) continue;
-    out.push_back(
-        {f.path, f.line_of(call.offset), "schedule-tiebreak",
-         "std::" + call.name +
-             " comparator orders by a timestamp with no secondary key: "
-             "elements with equal times keep container order, which is not "
-             "guaranteed stable — add a sequence/id tie-break (like "
-             "sim::Simulator's (time, seq) heap order) or use "
-             "std::stable_sort"});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-/// Rules allowed on `line` by a `// phisched-lint: allow(...)` marker on the
-/// same line or the line immediately above.
-bool is_suppressed(const FileText& f, std::size_t line, const std::string& rule) {
-  for (std::size_t l : {line, line > 1 ? line - 1 : line}) {
-    const std::string_view text = f.raw_line(l);
-    const std::size_t mark = text.find("phisched-lint:");
-    if (mark == std::string_view::npos) continue;
-    const std::size_t open = text.find("allow(", mark);
-    if (open == std::string_view::npos) continue;
-    const std::size_t close = text.find(')', open);
-    if (close == std::string_view::npos) continue;
-    std::string list(text.substr(open + 6, close - open - 6));
-    std::stringstream ss(list);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      const std::size_t b = item.find_first_not_of(" \t");
-      if (b == std::string::npos) continue;
-      const std::size_t e = item.find_last_not_of(" \t");
-      const std::string name = item.substr(b, e - b + 1);
-      if (name == rule || name == "all") return true;
-    }
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
@@ -732,13 +88,31 @@ bool lintable(const fs::path& p) {
 }
 
 int usage(std::ostream& os, int code) {
-  os << "usage: phisched_lint [--json] [--list-rules] <file-or-dir>...\n"
+  os << "usage: phisched_lint [options] <file-or-dir>...\n"
         "\n"
-        "Determinism lint for the phisched simulator tree. Scans C++\n"
-        "sources for coding patterns that break run-to-run\n"
-        "reproducibility. Suppress a finding with\n"
+        "Whole-program analyzer for the phisched simulator tree: determinism\n"
+        "pattern rules, architecture-layer conformance over the include\n"
+        "graph, and telemetry-schema extraction/cross-checks. See\n"
+        "docs/static-analysis.md.\n"
+        "\n"
+        "options:\n"
+        "  --json              machine-readable report on stdout\n"
+        "  --list-rules        print every rule id with a summary and exit\n"
+        "  --list-layers       print the enforced layer DAG table and exit\n"
+        "                      (docs/architecture.md mirrors it literally)\n"
+        "  --graph-out FILE    write the project include graph as DOT\n"
+        "  --schema-out FILE   write the extracted telemetry schema as JSON\n"
+        "  --schema-docs FILE  telemetry doc to cross-check (the fenced\n"
+        "                      telemetry-schema block); when a scanned root\n"
+        "                      is named 'src', ../docs/telemetry.md is used\n"
+        "                      automatically if present\n"
+        "  --golden PATH       golden bench JSON file or directory of them\n"
+        "                      (repeatable; auto-discovered from\n"
+        "                      ../bench/golden next to a 'src' root)\n"
+        "\n"
+        "Suppress a finding with\n"
         "  // phisched-lint: allow(<rule>)\n"
-        "on the same line or the line above. See docs/static-analysis.md.\n"
+        "on the same line or the line above.\n"
         "\n"
         "exit status: 0 clean, 1 unsuppressed findings, 2 error\n";
   return code;
@@ -748,9 +122,20 @@ int usage(std::ostream& os, int code) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  std::string graph_out;
+  SchemaOptions schema;
+  bool schema_docs_given = false;
+  bool golden_given = false;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "phisched_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--json") {
       json = true;
     } else if (arg == "--list-rules") {
@@ -758,6 +143,27 @@ int main(int argc, char** argv) {
         std::cout << r.id << "\t" << r.summary << "\n";
       }
       return 0;
+    } else if (arg == "--list-layers") {
+      std::cout << layer_table_text();
+      return 0;
+    } else if (arg == "--graph-out") {
+      const char* v = value("--graph-out");
+      if (v == nullptr) return usage(std::cerr, 2);
+      graph_out = v;
+    } else if (arg == "--schema-out") {
+      const char* v = value("--schema-out");
+      if (v == nullptr) return usage(std::cerr, 2);
+      schema.schema_out = v;
+    } else if (arg == "--schema-docs") {
+      const char* v = value("--schema-docs");
+      if (v == nullptr) return usage(std::cerr, 2);
+      schema.docs_path = v;
+      schema_docs_given = true;
+    } else if (arg == "--golden") {
+      const char* v = value("--golden");
+      if (v == nullptr) return usage(std::cerr, 2);
+      schema.golden_paths.emplace_back(v);
+      golden_given = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -769,54 +175,117 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) return usage(std::cerr, 2);
 
+  // Auto-discovery: pointing the tool at a directory named `src` opts into
+  // the full repo gate — the telemetry doc and golden bench files that live
+  // beside it are picked up so plain `phisched_lint src` enforces
+  // everything. Explicit flags always win.
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec) || root.filename() != "src") continue;
+    const fs::path repo = root.parent_path().empty() ? fs::path(".")
+                                                     : root.parent_path();
+    if (!schema_docs_given) {
+      const fs::path docs = repo / "docs" / "telemetry.md";
+      if (fs::is_regular_file(docs, ec)) {
+        schema.docs_path = docs.generic_string();
+        schema_docs_given = true;
+      }
+    }
+    if (!golden_given) {
+      const fs::path golden = repo / "bench" / "golden";
+      if (fs::is_directory(golden, ec)) {
+        schema.golden_paths.push_back(golden.generic_string());
+        golden_given = true;
+      }
+    }
+  }
+
+  // Expand --golden directories into their *.json members.
+  {
+    std::vector<std::string> expanded;
+    for (const std::string& gp : schema.golden_paths) {
+      std::error_code ec;
+      if (fs::is_directory(gp, ec)) {
+        for (const auto& entry : fs::directory_iterator(gp, ec)) {
+          if (entry.is_regular_file() &&
+              entry.path().extension() == ".json") {
+            expanded.push_back(entry.path().generic_string());
+          }
+        }
+      } else if (fs::is_regular_file(gp, ec)) {
+        expanded.push_back(gp);
+      } else {
+        std::cerr << "phisched_lint: cannot read '" << gp << "'\n";
+        return 2;
+      }
+    }
+    std::sort(expanded.begin(), expanded.end());
+    schema.golden_paths = std::move(expanded);
+  }
+
   // Deterministic file order regardless of filesystem enumeration order.
-  std::vector<fs::path> files;
+  // Each file remembers its root so include spellings resolve relative to
+  // the scanned roots (with a leading src/ stripped, the include style the
+  // tree uses).
+  struct Pending {
+    fs::path path;
+    std::string rel;
+    std::string root;
+  };
+  std::vector<Pending> pending;
   for (const fs::path& root : roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
+      const std::string root_name = root.filename().generic_string();
       for (auto it = fs::recursive_directory_iterator(root, ec);
            !ec && it != fs::recursive_directory_iterator(); ++it) {
         if (it->is_regular_file() && lintable(it->path())) {
-          files.push_back(it->path());
+          std::string rel =
+              it->path().lexically_relative(root).generic_string();
+          if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+          pending.push_back({it->path(), std::move(rel), root_name});
         }
       }
     } else if (fs::is_regular_file(root, ec)) {
-      files.push_back(root);
+      pending.push_back({root, root.filename().generic_string(),
+                         root.filename().generic_string()});
     } else {
       std::cerr << "phisched_lint: cannot read '" << root.string() << "'\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) { return a.path < b.path; });
+  pending.erase(std::unique(pending.begin(), pending.end(),
+                            [](const Pending& a, const Pending& b) {
+                              return a.path == b.path;
+                            }),
+                pending.end());
+
+  std::vector<FileText> files;
+  files.reserve(pending.size());
+  for (const Pending& p : pending) {
+    FileText f;
+    if (!load_file(p.path, p.rel, p.root, f)) return 2;
+    files.push_back(std::move(f));
+  }
 
   std::vector<Finding> findings;
-  for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::cerr << "phisched_lint: cannot open '" << path.string() << "'\n";
-      return 2;
-    }
-    FileText f;
-    f.path = path.generic_string();
-    f.raw.assign(std::istreambuf_iterator<char>(in),
-                 std::istreambuf_iterator<char>());
-    f.code = sanitize(f.raw);
-    f.line_starts.push_back(0);
-    for (std::size_t i = 0; i < f.raw.size(); ++i) {
-      if (f.raw[i] == '\n') f.line_starts.push_back(i + 1);
-    }
-    f.decision_path = path_is_decision(path);
-    f.rng_file = path_is_rng(path);
+  for (const FileText& f : files) scan_pattern_rules(f, findings);
+  if (!run_include_passes(files, graph_out, findings)) return 2;
+  if (!schema.docs_path.empty() || !schema.schema_out.empty()) {
+    if (!run_schema_pass(files, schema, findings)) return 2;
+  }
 
-    std::vector<Finding> file_findings;
-    scan_unordered_iter(f, file_findings);
-    scan_wall_clock(f, file_findings);
-    scan_pointer_key(f, file_findings);
-    scan_sort_rules(f, file_findings);
-    for (Finding& fd : file_findings) {
-      fd.suppressed = is_suppressed(f, fd.line, fd.rule);
-      findings.push_back(std::move(fd));
+  // Apply suppressions. Findings in scanned files use their FileText; the
+  // schema pass marks suppressions for doc/golden files itself.
+  std::map<std::string, const FileText*> by_path;
+  for (const FileText& f : files) by_path[f.path] = &f;
+  for (Finding& fd : findings) {
+    if (fd.suppressed) continue;
+    const auto hit = by_path.find(fd.file);
+    if (hit != by_path.end()) {
+      fd.suppressed = is_suppressed(*hit->second, fd.line, fd.rule);
     }
   }
 
@@ -824,7 +293,8 @@ int main(int argc, char** argv) {
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
             });
   const std::size_t suppressed = static_cast<std::size_t>(std::count_if(
       findings.begin(), findings.end(),
@@ -835,7 +305,7 @@ int main(int argc, char** argv) {
     phisched::JsonWriter w(/*pretty=*/true);
     w.begin_object();
     w.member("tool", "phisched_lint");
-    w.member("schema_version", 1);
+    w.member("schema_version", 2);
     w.member("files_scanned", static_cast<std::uint64_t>(files.size()));
     w.member("findings", static_cast<std::uint64_t>(active));
     w.member("suppressed", static_cast<std::uint64_t>(suppressed));
